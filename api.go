@@ -1,0 +1,412 @@
+package incentivetag
+
+import (
+	"fmt"
+	"io"
+
+	"incentivetag/internal/core"
+	"incentivetag/internal/crowd"
+	"incentivetag/internal/experiments"
+	"incentivetag/internal/ir"
+	"incentivetag/internal/optimal"
+	"incentivetag/internal/quality"
+	"incentivetag/internal/sim"
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/stability"
+	"incentivetag/internal/stats"
+	"incentivetag/internal/strategy"
+	"incentivetag/internal/synth"
+	"incentivetag/internal/tags"
+	"incentivetag/internal/taxonomy"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Tag is an interned tag identifier.
+	Tag = tags.Tag
+	// Vocab interns tag names.
+	Vocab = tags.Vocab
+	// Post is a set of tags assigned in one tagging operation.
+	Post = tags.Post
+	// Seq is a resource's time-ordered post sequence.
+	Seq = tags.Seq
+
+	// Counts is a sparse tag-count vector whose normalization is an rfd.
+	Counts = sparse.Counts
+	// Tracker maintains a resource's rfd and MA stability score online.
+	Tracker = stability.Tracker
+	// StablePointResult reports a practically-stable rfd search.
+	StablePointResult = stability.StablePointResult
+
+	// Reference is a stable rfd used as the quality yardstick.
+	Reference = quality.Reference
+	// Curve is a replayed quality curve x ↦ q(c+x).
+	Curve = quality.Curve
+
+	// Problem is the incentive-based tagging optimization problem P(B,R).
+	Problem = core.Problem
+	// Assignment is a post-task allocation x.
+	Assignment = core.Assignment
+
+	// Strategy is an online incentive allocation policy.
+	Strategy = strategy.Strategy
+	// Env is the observable tagging-system state a Strategy sees.
+	Env = strategy.Env
+
+	// Config controls synthetic corpus generation.
+	Config = synth.Config
+	// Dataset is a generated (or loaded) corpus.
+	Dataset = synth.Dataset
+	// Resource is one corpus resource.
+	Resource = synth.Resource
+	// DriftSpec declares a case-study resource with early-topic drift.
+	DriftSpec = synth.DriftSpec
+	// DatasetStats is the corpus census of §I / §V-A.
+	DatasetStats = synth.DatasetStats
+
+	// Taxonomy is the category tree ground truth.
+	Taxonomy = taxonomy.Tree
+
+	// SimilarityIndex answers top-k and pair-similarity queries over rfd
+	// snapshots.
+	SimilarityIndex = ir.Index
+	// Scored is a ranked similarity answer.
+	Scored = ir.Scored
+	// Pair is an unordered resource pair.
+	Pair = ir.Pair
+
+	// Checkpoint is a metric snapshot of a simulation run.
+	Checkpoint = sim.Checkpoint
+
+	// Scale sizes an experiment suite run.
+	Scale = experiments.Scale
+	// Experiment is one registered paper artifact reproduction.
+	Experiment = experiments.Experiment
+)
+
+// NewVocab returns an empty tag vocabulary.
+func NewVocab() *Vocab { return tags.NewVocab() }
+
+// NewPost builds a post from tag ids, deduplicating and sorting.
+func NewPost(ts ...Tag) (Post, error) { return tags.NewPost(ts...) }
+
+// ParsePost interns names into v and builds a post.
+func ParsePost(v *Vocab, names ...string) (Post, error) { return tags.ParsePost(v, names...) }
+
+// NewTracker returns an MA-score tracker with window ω ≥ 2 (Definition 7).
+func NewTracker(omega int) *Tracker { return stability.NewTracker(omega) }
+
+// StablePoint scans a post sequence for its practically-stable rfd
+// φ̂(ω, τ) (Definition 8).
+func StablePoint(seq Seq, omega int, tau float64) StablePointResult {
+	return stability.StablePoint(seq, omega, tau)
+}
+
+// NewReference wraps a stable rfd as a quality yardstick (Definition 9).
+func NewReference(stable *Counts) *Reference { return quality.NewReference(stable) }
+
+// SetQuality averages per-resource qualities (Definition 10).
+func SetQuality(perResource []float64) float64 { return quality.SetQuality(perResource) }
+
+// DefaultConfig returns the calibrated generator configuration for n
+// resources under the given seed.
+func DefaultConfig(n int, seed int64) Config { return synth.DefaultConfig(n, seed) }
+
+// Generate builds a deterministic synthetic corpus.
+func Generate(cfg Config) (*Dataset, error) { return synth.Generate(cfg) }
+
+// SaveDataset persists a corpus (tagstore post log + metadata) under dir.
+func SaveDataset(ds *Dataset, dir string) error { return ds.Save(dir) }
+
+// LoadDataset reads a corpus persisted by SaveDataset.
+func LoadDataset(dir string) (*Dataset, error) { return synth.Load(dir) }
+
+// StrategyNames lists the implemented online strategies plus "DP".
+func StrategyNames() []string { return append([]string(nil), experiments.StrategyNames...) }
+
+// NewStrategy instantiates an online strategy by its paper name: "FC",
+// "RR", "FP", "MU" or "FP-MU" (omega is the MA window for MU/FP-MU).
+func NewStrategy(name string, omega int) (Strategy, error) {
+	return experiments.NewStrategy(name, omega)
+}
+
+// Options tune a Simulation.
+type Options struct {
+	// Omega is the MA window ω for trackers and MU/FP-MU (default 5, the
+	// paper's experimental default).
+	Omega int
+	// Seed drives stochastic strategies (FC). Default 1.
+	Seed int64
+	// Resources restricts the simulation to the first n corpus resources
+	// (0 = all).
+	Resources int
+}
+
+// Simulation replays the paper's evaluation protocol over a corpus.
+type Simulation struct {
+	ds   *Dataset
+	data *sim.Data
+	opts Options
+}
+
+// NewSimulation prepares a replay simulation over ds.
+func NewSimulation(ds *Dataset, opts Options) *Simulation {
+	if opts.Omega == 0 {
+		opts.Omega = 5
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Simulation{ds: ds, data: sim.FromDataset(ds, opts.Resources), opts: opts}
+}
+
+// MaxBudget returns the largest spendable budget (total replayable posts).
+func (s *Simulation) MaxBudget() int { return s.data.MaxBudget() }
+
+// Result summarizes one strategy run.
+type Result struct {
+	Strategy       string
+	Budget         int
+	Spent          int
+	InitialQuality float64
+	FinalQuality   float64
+	Assignment     Assignment
+	Checkpoints    []Checkpoint
+}
+
+// Run executes one named strategy with the given budget and no
+// intermediate checkpoints.
+func (s *Simulation) Run(name string, budget int) (*Result, error) {
+	return s.RunCheckpoints(name, budget, nil)
+}
+
+// RunCheckpoints executes one named strategy, snapshotting metrics at the
+// given ascending spent-budget values.
+func (s *Simulation) RunCheckpoints(name string, budget int, checkpoints []int) (*Result, error) {
+	strat, err := NewStrategy(name, s.opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	st := sim.NewState(s.data, s.opts.Omega, s.opts.Seed)
+	initial := st.Quality()
+	cps, err := st.Run(strat, budget, checkpoints)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:       name,
+		Budget:         budget,
+		Spent:          st.Spent(),
+		InitialQuality: initial,
+		FinalQuality:   st.Quality(),
+		Assignment:     st.Assignment(),
+		Checkpoints:    cps,
+	}, nil
+}
+
+// RunCustom executes a caller-supplied Strategy implementation — the
+// extension point for new allocation policies.
+func (s *Simulation) RunCustom(strat Strategy, budget int) (*Result, error) {
+	st := sim.NewState(s.data, s.opts.Omega, s.opts.Seed)
+	initial := st.Quality()
+	cps, err := st.Run(strat, budget, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:       strat.Name(),
+		Budget:         budget,
+		Spent:          st.Spent(),
+		InitialQuality: initial,
+		FinalQuality:   st.Quality(),
+		Assignment:     st.Assignment(),
+		Checkpoints:    cps,
+	}, nil
+}
+
+// SolveOptimal runs the offline DP (Section III-D) for the budget and
+// returns the optimal assignment with its mean quality. The DP costs
+// O(n·B²); keep instances moderate.
+func (s *Simulation) SolveOptimal(budget int) (Assignment, float64, error) {
+	curves, err := sim.BuildCurves(s.data, budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := optimal.Solve(curves, budget, optimal.Options{Bounded: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err := res.AssignmentAt(budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, res.MeanQualityAt(budget), nil
+}
+
+// SolveGreedy runs the offline marginal-gain oracle: near-optimal on
+// tagging workloads (quality curves are mostly concave) at
+// O((n+B) log n) instead of the DP's O(n·B²). Returns the assignment and
+// its mean quality.
+func (s *Simulation) SolveGreedy(budget int) (Assignment, float64, error) {
+	curves, err := sim.BuildCurvesParallel(s.data, budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, total, err := optimal.SolveGreedy(curves, budget, s.data.Costs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, total / float64(s.data.N()), nil
+}
+
+// SetCosts installs a per-resource task cost vector (the paper's
+// variable-cost future-work extension). nil restores unit costs.
+func (s *Simulation) SetCosts(costs []int) error {
+	if costs != nil && len(costs) != s.data.N() {
+		return fmt.Errorf("incentivetag: %d costs for %d resources", len(costs), s.data.N())
+	}
+	s.data.Costs = costs
+	return nil
+}
+
+// InvertedTopK is a tag-postings-accelerated top-k similarity index,
+// exact but touching only resources that share tags with the subject.
+type InvertedTopK = ir.InvertedIndex
+
+// NewInvertedTopK builds the accelerated index over an rfd snapshot set
+// (e.g. SimilarityIndex.RFDs()).
+func NewInvertedTopK(rfds []*Counts) *InvertedTopK { return ir.BuildInverted(rfds) }
+
+// SnapshotAfter runs a strategy and returns the resulting rfd snapshots
+// as a similarity index (the case-study workflow of §V-C).
+func (s *Simulation) SnapshotAfter(name string, budget int) (*SimilarityIndex, error) {
+	strat, err := NewStrategy(name, s.opts.Omega)
+	if err != nil {
+		return nil, err
+	}
+	st := sim.NewState(s.data, s.opts.Omega, s.opts.Seed)
+	if _, err := st.Run(strat, budget, nil); err != nil {
+		return nil, err
+	}
+	return ir.NewIndex(st.SnapshotRFDs()), nil
+}
+
+// SnapshotInitial returns the "Jan 31" similarity index (initial posts
+// only); SnapshotFull returns the ideal "Dec 31" index (every recorded
+// post).
+func (s *Simulation) SnapshotInitial() *SimilarityIndex {
+	rfds := make([]*Counts, s.data.N())
+	for i := range rfds {
+		rfds[i] = sparse.FromSeq(s.data.Seqs[i], s.data.Initial[i])
+	}
+	return ir.NewIndex(rfds)
+}
+
+// SnapshotFull returns the ideal index built from complete sequences.
+func (s *Simulation) SnapshotFull() *SimilarityIndex {
+	rfds := make([]*Counts, s.data.N())
+	for i := range rfds {
+		rfds[i] = sparse.FromSeq(s.data.Seqs[i], len(s.data.Seqs[i]))
+	}
+	return ir.NewIndex(rfds)
+}
+
+// NewSimilarityIndex wraps rfd snapshots for top-k and ranking queries.
+func NewSimilarityIndex(rfds []*Counts) *SimilarityIndex { return ir.NewIndex(rfds) }
+
+// SamplePairs draws m distinct resource pairs for ranking evaluation.
+func SamplePairs(n, m int, seed int64) []Pair { return ir.SamplePairs(n, m, seed) }
+
+// GroundTruthSimilarities evaluates taxonomy ground truth on pairs.
+func GroundTruthSimilarities(ds *Dataset, pairs []Pair) []float64 {
+	leaves := make([]taxonomy.NodeID, len(ds.Resources))
+	for i := range ds.Resources {
+		leaves[i] = ds.Resources[i].Leaf
+	}
+	return ir.GroundTruth(ds.Tax, leaves, pairs)
+}
+
+// RankingAccuracy is Kendall's τ between tag-derived and ground-truth
+// pair similarities (Figure 7's accuracy measure).
+func RankingAccuracy(simVals, truthVals []float64) (float64, error) {
+	return ir.RankingAccuracy(simVals, truthVals)
+}
+
+// Pearson computes the correlation of Equation 15.
+func Pearson(xs, ys []float64) (float64, error) { return stats.Pearson(xs, ys) }
+
+// KendallTau computes Kendall's τ-b rank correlation in O(n log n).
+func KendallTau(xs, ys []float64) (float64, error) { return stats.KendallTau(xs, ys) }
+
+// QuickScale and PaperScale size the experiment suite.
+func QuickScale() Scale { return experiments.Quick() }
+
+// PaperScale returns the paper's n=5000 / B=10000 configuration.
+func PaperScale() Scale { return experiments.Paper() }
+
+// TinyScale returns a minimal configuration for smoke tests.
+func TinyScale() Scale { return experiments.Tiny() }
+
+// Experiments lists every registered paper artifact.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment reproduces one paper artifact by id (e.g. "fig6a",
+// "table6") at the given scale, writing its table to w.
+func RunExperiment(id string, sc Scale, w io.Writer) error {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return err
+	}
+	ctx, err := experiments.NewContext(sc)
+	if err != nil {
+		return err
+	}
+	return e.Run(ctx, w)
+}
+
+// RunAllExperiments reproduces every registered artifact at the given
+// scale against one shared corpus.
+func RunAllExperiments(sc Scale, w io.Writer) error {
+	ctx, err := experiments.NewContext(sc)
+	if err != nil {
+		return err
+	}
+	return experiments.RunAll(ctx, w)
+}
+
+// Worker is one simulated crowd participant (Figure 2's "Internet
+// crowds"), optionally restricted to top-level interest categories — the
+// paper's user-preference future-work extension.
+type Worker = crowd.Worker
+
+// UniformWorkers builds a deterministic worker pool over the dataset's
+// taxonomy; pInterest is the fraction of category-specialist workers.
+func UniformWorkers(ds *Dataset, n int, pInterest float64, seed int64) []Worker {
+	return crowd.UniformWorkers(n, ds.Tax, pInterest, seed)
+}
+
+// NewPreferenceFC returns a Free Choice strategy whose tagger model is a
+// preference-constrained worker pool instead of pure popularity: workers
+// only accept resources in their interest categories.
+func NewPreferenceFC(ds *Dataset, workers []Worker) Strategy {
+	leaves := make([]taxonomy.NodeID, len(ds.Resources))
+	for i := range ds.Resources {
+		leaves[i] = ds.Resources[i].Leaf
+	}
+	return strategy.NewFC(&crowd.PreferencePicker{Workers: workers, Leaves: leaves, Tax: ds.Tax})
+}
+
+// Ledger tracks reward payouts per worker (step 4 of Figure 2).
+type Ledger = crowd.Ledger
+
+// NewLedger returns an empty reward ledger.
+func NewLedger() *Ledger { return crowd.NewLedger() }
+
+// Validate sanity-checks a dataset for simulation use.
+func Validate(ds *Dataset) error {
+	if ds == nil || ds.N() == 0 {
+		return fmt.Errorf("incentivetag: empty dataset")
+	}
+	return sim.FromDataset(ds, 0).Validate()
+}

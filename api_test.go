@@ -1,0 +1,245 @@
+package incentivetag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sharedDS memoizes a small corpus across facade tests.
+var sharedDS *Dataset
+
+func testDS(t *testing.T) *Dataset {
+	t.Helper()
+	if sharedDS == nil {
+		ds, err := Generate(DefaultConfig(120, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDS = ds
+	}
+	return sharedDS
+}
+
+func TestGenerateAndValidate(t *testing.T) {
+	ds := testDS(t)
+	if err := Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	st := ds.Stats()
+	if st.NResources != 125 { // 120 + 5 case-study resources
+		t.Errorf("N = %d", st.NResources)
+	}
+}
+
+func TestPostAndVocabFacade(t *testing.T) {
+	v := NewVocab()
+	p, err := ParsePost(v, "maps", "navigation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 {
+		t.Errorf("post = %v", p)
+	}
+	p2, err := NewPost(p[0], p[1], p[0])
+	if err != nil || len(p2) != 2 {
+		t.Errorf("NewPost dedup failed: %v %v", p2, err)
+	}
+}
+
+func TestTrackerAndStablePointFacade(t *testing.T) {
+	ds := testDS(t)
+	r := &ds.Resources[0]
+	tr := NewTracker(20)
+	for _, p := range r.Seq {
+		tr.Observe(p)
+	}
+	if _, ok := tr.MA(); !ok {
+		t.Fatal("MA undefined after full sequence")
+	}
+	res := StablePoint(r.Seq, ds.Cfg.PrepOmega, ds.Cfg.PrepTau)
+	if !res.Found || res.K != r.StableK {
+		t.Errorf("StablePoint = %d/%v, dataset says %d", res.K, res.Found, r.StableK)
+	}
+	ref := NewReference(r.StableRFD)
+	if q := ref.Of(tr.Counts()); q < 0.9 {
+		t.Errorf("full-sequence quality %g, want high", q)
+	}
+	if got := SetQuality([]float64{0.5, 1.0}); got != 0.75 {
+		t.Errorf("SetQuality = %g", got)
+	}
+}
+
+func TestSimulationRunAndOptimal(t *testing.T) {
+	ds := testDS(t)
+	s := NewSimulation(ds, Options{Seed: 2})
+	if s.MaxBudget() <= 0 {
+		t.Fatal("MaxBudget not positive")
+	}
+	res, err := s.Run("FP", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spent != 300 || res.FinalQuality <= res.InitialQuality {
+		t.Errorf("FP run: spent %d, quality %g -> %g", res.Spent, res.InitialQuality, res.FinalQuality)
+	}
+	total := 0
+	for _, x := range res.Assignment {
+		total += x
+	}
+	if total != 300 {
+		t.Errorf("Σx = %d", total)
+	}
+
+	// Optimal dominates every strategy.
+	_, optQ, err := s.SolveOptimal(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range StrategyNames() {
+		if name == "DP" {
+			continue
+		}
+		r, err := s.Run(name, 300)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.FinalQuality > optQ+1e-9 {
+			t.Errorf("%s beat DP: %.6f > %.6f", name, r.FinalQuality, optQ)
+		}
+	}
+
+	if _, err := s.Run("nope", 10); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunCheckpointsFacade(t *testing.T) {
+	ds := testDS(t)
+	s := NewSimulation(ds, Options{Seed: 3})
+	res, err := s.RunCheckpoints("RR", 200, []int{0, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) != 3 {
+		t.Fatalf("got %d checkpoints", len(res.Checkpoints))
+	}
+}
+
+func TestSnapshotsAndSimilarity(t *testing.T) {
+	ds := testDS(t)
+	s := NewSimulation(ds, Options{Seed: 4})
+	initial := s.SnapshotInitial()
+	full := s.SnapshotFull()
+	after, err := s.SnapshotAfter("FP", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.N() != ds.N() || full.N() != ds.N() || after.N() != ds.N() {
+		t.Fatal("snapshot sizes wrong")
+	}
+	subj, ok := ds.ByName("www.myphysicslab.example")
+	if !ok {
+		t.Fatal("case-study resource missing")
+	}
+	top := full.TopK(subj, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+
+	pairs := SamplePairs(ds.N(), 2000, 9)
+	truth := GroundTruthSimilarities(ds, pairs)
+	tauInitial, err := RankingAccuracy(initial.PairSimilarities(pairs), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauFull, err := RankingAccuracy(full.PairSimilarities(pairs), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tauFull > tauInitial) {
+		t.Errorf("full-data accuracy %.4f not above initial %.4f", tauFull, tauInitial)
+	}
+}
+
+func TestStatsFacade(t *testing.T) {
+	if r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); err != nil || r < 0.999 {
+		t.Errorf("Pearson = %g, %v", r, err)
+	}
+	if tau, err := KendallTau([]float64{1, 2, 3}, []float64{3, 2, 1}); err != nil || tau > -0.999 {
+		t.Errorf("KendallTau = %g, %v", tau, err)
+	}
+}
+
+func TestPreferenceCrowdFacade(t *testing.T) {
+	ds := testDS(t)
+	workers := UniformWorkers(ds, 20, 0.5, 1)
+	if len(workers) != 20 {
+		t.Fatal("pool size wrong")
+	}
+	s := NewSimulation(ds, Options{Seed: 6})
+	res, err := s.RunCustom(NewPreferenceFC(ds, workers), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spent == 0 {
+		t.Error("preference crowd completed no tasks")
+	}
+	l := NewLedger()
+	l.Pay(0, 2)
+	if l.Total != 2 {
+		t.Error("ledger facade broken")
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	ds := testDS(t)
+	dir := t.TempDir()
+	if err := SaveDataset(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != ds.N() {
+		t.Errorf("reload N = %d", got.N())
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	if len(Experiments()) < 17 {
+		t.Errorf("only %d experiments registered", len(Experiments()))
+	}
+	sc := QuickScale()
+	if sc.N <= 0 || PaperScale().N != 5000 {
+		t.Error("scales wrong")
+	}
+	var buf bytes.Buffer
+	tiny := TinyScale()
+	if err := RunExperiment("fig5", tiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("experiment output missing title")
+	}
+	if err := RunExperiment("nope", tiny, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestStrategyNamesFacade(t *testing.T) {
+	names := StrategyNames()
+	want := map[string]bool{"DP": true, "FC": true, "RR": true, "FP": true, "MU": true, "FP-MU": true}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected strategy %q", n)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command tagsim regenerates the paper's tables and figures on the
+// synthetic replay corpus.
+//
+// Usage:
+//
+//	tagsim [-scale quick|paper|tiny] [-exp id[,id...]] [-seed N] [-list]
+//
+// With no -exp, every registered experiment runs in presentation order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"incentivetag/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick, paper, or tiny")
+	expIDs := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 0, "override dataset seed (0 = scale default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.Quick()
+	case "paper":
+		sc = experiments.Paper()
+	case "tiny":
+		sc = experiments.Tiny()
+	default:
+		fmt.Fprintf(os.Stderr, "tagsim: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	start := time.Now()
+	fmt.Printf("# tagsim scale=%s n=%d budget=%d seed=%d\n", sc.Name, sc.N, sc.Budget, sc.Seed)
+	ctx, err := experiments.NewContext(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagsim: generating corpus: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# corpus generated in %v (%d resources)\n\n", time.Since(start).Round(time.Millisecond), ctx.Data.N())
+
+	if *expIDs == "" {
+		if err := experiments.RunAll(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tagsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tagsim: %v\n", err)
+				os.Exit(2)
+			}
+			if err := e.Run(ctx, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "tagsim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("# total %v\n", time.Since(start).Round(time.Millisecond))
+}

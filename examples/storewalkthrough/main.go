@@ -1,0 +1,86 @@
+// Storewalkthrough demonstrates the persistence substrate: a corpus is
+// written into the embedded append-only tagstore, reloaded, verified, and
+// then recovered after a simulated crash that tears the log's tail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"incentivetag"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tagstore-walkthrough-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(120, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := ds.Stats()
+	fmt.Printf("generated: %d resources, %d posts\n", before.NResources, before.TotalPosts)
+
+	corpusDir := filepath.Join(dir, "corpus")
+	if err := incentivetag.SaveDataset(ds, corpusDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted under %s\n", corpusDir)
+
+	loaded, err := incentivetag.LoadDataset(corpusDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := loaded.Stats()
+	fmt.Printf("reloaded: %d resources, %d posts (round-trip %s)\n",
+		after.NResources, after.TotalPosts, okString(before.TotalPosts == after.TotalPosts))
+
+	// Simulate a crash mid-append: chop bytes off the tail of the last
+	// log segment. The store detects the torn record on reopen and
+	// truncates back to the last complete post.
+	segs, err := filepath.Glob(filepath.Join(corpusDir, "posts", "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		log.Fatalf("no segments found: %v", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated crash: tore 7 bytes off %s\n", filepath.Base(last))
+
+	recovered, err := incentivetag.LoadDataset(corpusDir)
+	if err == nil {
+		// The torn post belonged to the final resource; its metadata now
+		// disagrees with the recovered log, which Load reports — unless
+		// the torn bytes were padding-free, in which case the sequence
+		// shrank by exactly one post.
+		fmt.Printf("recovered cleanly: %d posts\n", recovered.Stats().TotalPosts)
+	} else {
+		fmt.Printf("recovery surfaced the data loss explicitly: %v\n", err)
+	}
+
+	// A simulation runs fine on the intact reload.
+	sim := incentivetag.NewSimulation(loaded, incentivetag.Options{Seed: 3})
+	res, err := sim.Run("FP", 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation on reloaded corpus: quality %.4f -> %.4f\n",
+		res.InitialQuality, res.FinalQuality)
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "MISMATCH"
+}

@@ -1,0 +1,205 @@
+// Package crowd simulates the crowdsourcing side of an incentive-based
+// tagging system (Figure 2): a pool of workers ("Internet crowds"), a job
+// board of post tasks, worker choice behaviour, and a reward ledger.
+//
+// The paper realizes its model on Mechanical-Turk-style systems: the
+// resource owner creates jobs for under-tagged resources, workers choose
+// jobs, and each completed job pays one reward unit. This package supplies
+// (a) the Picker implementations that model tagger free will for the FC
+// baseline and the preference extension, and (b) a Market that runs the
+// full four-step loop of Figure 2 for the crowdmarket example.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incentivetag/internal/fenwick"
+	"incentivetag/internal/strategy"
+	"incentivetag/internal/taxonomy"
+)
+
+// Worker is one crowd participant.
+type Worker struct {
+	// ID identifies the worker in the ledger.
+	ID int
+	// Interests, when non-empty, lists the taxonomy top-level categories
+	// whose resources this worker is willing to tag (the paper's
+	// future-work "user preference" extension). Empty means indifferent.
+	Interests map[taxonomy.NodeID]bool
+}
+
+// Ledger tracks reward units paid per worker (step 4 of Figure 2).
+type Ledger struct {
+	paid map[int]int
+	// Total is the number of reward units disbursed.
+	Total int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{paid: make(map[int]int)} }
+
+// Pay credits units reward units to worker id.
+func (l *Ledger) Pay(id, units int) {
+	l.paid[id] += units
+	l.Total += units
+}
+
+// Paid returns worker id's accumulated reward.
+func (l *Ledger) Paid(id int) int { return l.paid[id] }
+
+// PreferencePicker is a free-choice model with worker preferences: for
+// each task, a worker drawn uniformly from the pool picks a resource
+// proportionally to organic popularity but only within the worker's
+// interest categories. If a worker refuses everything, the pick falls
+// back to the next worker (up to the pool size); exhaustion returns
+// ok=false.
+type PreferencePicker struct {
+	Workers []Worker
+	// Leaves maps resource id to its taxonomy leaf.
+	Leaves []taxonomy.NodeID
+	// Tax resolves leaf → top-level category.
+	Tax *taxonomy.Tree
+
+	tree    *fenwick.Tree
+	lastWkr int
+}
+
+// Init builds the popularity structure from the environment.
+func (p *PreferencePicker) Init(env strategy.Env) {
+	ws := make([]float64, env.N())
+	if ow, ok := env.(strategy.OrganicWeighter); ok {
+		for i := range ws {
+			ws[i] = ow.OrganicWeight(i)
+		}
+	} else {
+		for i := range ws {
+			if env.Available(i) {
+				ws[i] = 1
+			}
+		}
+	}
+	p.tree = fenwick.FromWeights(ws)
+}
+
+// topOf returns the top-level category of resource i.
+func (p *PreferencePicker) topOf(i int) taxonomy.NodeID {
+	leaf := p.Leaves[i]
+	// Walk up to depth 1.
+	for p.Tax.Depth(leaf) > 1 {
+		leaf = p.Tax.Parent(leaf)
+	}
+	return leaf
+}
+
+// accepts reports whether worker w would tag resource i.
+func (p *PreferencePicker) accepts(w *Worker, i int) bool {
+	if len(w.Interests) == 0 {
+		return true
+	}
+	return w.Interests[p.topOf(i)]
+}
+
+// Pick draws a worker, then a resource the worker accepts.
+func (p *PreferencePicker) Pick(env strategy.Env, remaining int) (int, bool) {
+	if len(p.Workers) == 0 {
+		return -1, false
+	}
+	for wTries := 0; wTries < len(p.Workers); wTries++ {
+		w := &p.Workers[(p.lastWkr+wTries)%len(p.Workers)]
+		// Up to a bounded number of popularity draws per worker.
+		for draw := 0; draw < 32; draw++ {
+			total := p.tree.Total()
+			if total <= 0 {
+				return -1, false
+			}
+			i := p.tree.Search(env.Rand().Float64() * total)
+			if i < 0 {
+				return -1, false
+			}
+			if !env.Available(i) || env.Cost(i) > remaining {
+				p.tree.Set(i, 0)
+				continue
+			}
+			if p.accepts(w, i) {
+				p.lastWkr = (p.lastWkr + wTries + 1) % len(p.Workers)
+				return i, true
+			}
+			break // worker refused; try next worker
+		}
+	}
+	return -1, false
+}
+
+// Picked decays popularity after a completed task.
+func (p *PreferencePicker) Picked(i int) { p.tree.Add(i, -1) }
+
+// UniformWorkers builds nw workers; each has a probability pInterest of
+// being a specialist interested in 1–3 random top-level categories,
+// otherwise indifferent. Deterministic in seed.
+func UniformWorkers(nw int, tax *taxonomy.Tree, pInterest float64, seed int64) []Worker {
+	rng := rand.New(rand.NewSource(seed))
+	// Collect top-level categories.
+	var tops []taxonomy.NodeID
+	for id := 0; id < tax.Size(); id++ {
+		if tax.Depth(taxonomy.NodeID(id)) == 1 {
+			tops = append(tops, taxonomy.NodeID(id))
+		}
+	}
+	ws := make([]Worker, nw)
+	for i := range ws {
+		ws[i] = Worker{ID: i}
+		if rng.Float64() < pInterest && len(tops) > 0 {
+			k := 1 + rng.Intn(3)
+			ws[i].Interests = make(map[taxonomy.NodeID]bool, k)
+			for j := 0; j < k; j++ {
+				ws[i].Interests[tops[rng.Intn(len(tops))]] = true
+			}
+		}
+	}
+	return ws
+}
+
+// TaskEvent records one completed post task in the Market log.
+type TaskEvent struct {
+	Worker   int
+	Resource int
+	Reward   int
+}
+
+// Market drives the complete Figure 2 loop on top of a simulation
+// environment: an allocation strategy proposes resources (step 1), a
+// worker is recruited and completes the post task (steps 2–3), and the
+// ledger pays out (step 4).
+type Market struct {
+	Workers []Worker
+	Ledger  *Ledger
+	Events  []TaskEvent
+
+	rng *rand.Rand
+}
+
+// NewMarket returns a market over the given worker pool.
+func NewMarket(workers []Worker, seed int64) *Market {
+	return &Market{
+		Workers: workers,
+		Ledger:  NewLedger(),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Recruit picks the worker that completes the next task on resource
+// (uniformly among workers accepting it, given their interests as applied
+// by pref; pref may be nil for indifferent pools).
+func (m *Market) Recruit() (*Worker, error) {
+	if len(m.Workers) == 0 {
+		return nil, fmt.Errorf("crowd: empty worker pool")
+	}
+	return &m.Workers[m.rng.Intn(len(m.Workers))], nil
+}
+
+// Complete records a finished task and pays the worker.
+func (m *Market) Complete(w *Worker, resource, reward int) {
+	m.Ledger.Pay(w.ID, reward)
+	m.Events = append(m.Events, TaskEvent{Worker: w.ID, Resource: resource, Reward: reward})
+}

@@ -1,0 +1,153 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"incentivetag/internal/strategy"
+	"incentivetag/internal/taxonomy"
+)
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	l.Pay(1, 3)
+	l.Pay(2, 1)
+	l.Pay(1, 2)
+	if l.Paid(1) != 5 || l.Paid(2) != 1 || l.Paid(3) != 0 {
+		t.Errorf("payouts wrong: %d %d %d", l.Paid(1), l.Paid(2), l.Paid(3))
+	}
+	if l.Total != 6 {
+		t.Errorf("Total = %d", l.Total)
+	}
+}
+
+func TestUniformWorkersDeterministic(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	a := UniformWorkers(30, tax, 0.5, 7)
+	b := UniformWorkers(30, tax, 0.5, 7)
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatal("wrong pool size")
+	}
+	for i := range a {
+		if len(a[i].Interests) != len(b[i].Interests) {
+			t.Fatalf("worker %d differs across identical seeds", i)
+		}
+	}
+	specialists := 0
+	for _, w := range a {
+		specialists++
+		if len(w.Interests) == 0 {
+			specialists--
+		}
+	}
+	if specialists == 0 || specialists == 30 {
+		t.Errorf("pInterest=0.5 produced %d/30 specialists", specialists)
+	}
+	// Interests are top-level categories.
+	for _, w := range a {
+		for cat := range w.Interests {
+			if tax.Depth(cat) != 1 {
+				t.Errorf("interest %s is not top-level", tax.Path(cat))
+			}
+		}
+	}
+}
+
+// prefEnv is a tiny Env for picker tests.
+type prefEnv struct {
+	n       int
+	weights []float64
+	rng     *rand.Rand
+}
+
+func (e *prefEnv) N() int                      { return e.n }
+func (e *prefEnv) Count(int) int               { return 0 }
+func (e *prefEnv) MA(int) (float64, bool)      { return 0, false }
+func (e *prefEnv) Available(int) bool          { return true }
+func (e *prefEnv) Cost(int) int                { return 1 }
+func (e *prefEnv) Rand() *rand.Rand            { return e.rng }
+func (e *prefEnv) OrganicWeight(i int) float64 { return e.weights[i] }
+
+var _ strategy.Env = (*prefEnv)(nil)
+var _ strategy.OrganicWeighter = (*prefEnv)(nil)
+
+func TestPreferencePickerRespectsInterests(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	physics := tax.FindLeaf("Physics")
+	java := tax.FindLeaf("Java")
+	if physics < 0 || java < 0 {
+		t.Fatal("expected leaves missing")
+	}
+	scienceTop := tax.Parent(physics)
+
+	// Two resources: one physics (Science), one java (Computers). All
+	// workers only accept Science.
+	leaves := []taxonomy.NodeID{physics, java}
+	workers := []Worker{
+		{ID: 0, Interests: map[taxonomy.NodeID]bool{scienceTop: true}},
+		{ID: 1, Interests: map[taxonomy.NodeID]bool{scienceTop: true}},
+	}
+	p := &PreferencePicker{Workers: workers, Leaves: leaves, Tax: tax}
+	env := &prefEnv{n: 2, weights: []float64{1, 1000}, rng: rand.New(rand.NewSource(1))}
+	p.Init(env)
+	for trial := 0; trial < 20; trial++ {
+		i, ok := p.Pick(env, 100)
+		if !ok {
+			// Possible: the popular java resource dominated all draws for
+			// every worker attempt. Acceptable refusal.
+			continue
+		}
+		if i != 0 {
+			t.Fatalf("picker chose out-of-interest resource %d", i)
+		}
+		p.Picked(i)
+	}
+}
+
+func TestPreferencePickerIndifferentWorkers(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	leaves := []taxonomy.NodeID{tax.Leaves()[0], tax.Leaves()[1]}
+	p := &PreferencePicker{Workers: []Worker{{ID: 0}}, Leaves: leaves, Tax: tax}
+	env := &prefEnv{n: 2, weights: []float64{1, 1}, rng: rand.New(rand.NewSource(2))}
+	p.Init(env)
+	seen := map[int]bool{}
+	for trial := 0; trial < 50; trial++ {
+		i, ok := p.Pick(env, 100)
+		if !ok {
+			t.Fatal("indifferent worker refused everything")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("indifferent picking covered %d resources, want 2", len(seen))
+	}
+}
+
+func TestPreferencePickerEmptyPool(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	p := &PreferencePicker{Workers: nil, Leaves: nil, Tax: tax}
+	env := &prefEnv{n: 0, weights: nil, rng: rand.New(rand.NewSource(3))}
+	p.Init(env)
+	if _, ok := p.Pick(env, 10); ok {
+		t.Error("empty pool picked something")
+	}
+}
+
+func TestMarket(t *testing.T) {
+	m := NewMarket([]Worker{{ID: 0}, {ID: 1}}, 5)
+	w, err := m.Recruit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Complete(w, 3, 1)
+	if m.Ledger.Total != 1 || len(m.Events) != 1 {
+		t.Errorf("market state: total=%d events=%d", m.Ledger.Total, len(m.Events))
+	}
+	if m.Events[0].Resource != 3 {
+		t.Error("event resource wrong")
+	}
+	empty := NewMarket(nil, 5)
+	if _, err := empty.Recruit(); err == nil {
+		t.Error("recruit from empty pool succeeded")
+	}
+}

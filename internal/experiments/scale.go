@@ -1,0 +1,149 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V) on the synthetic replay corpus. Each experiment
+// is a named runner that prints the same rows/series the paper reports;
+// cmd/tagsim drives them from the command line and bench_test.go pins one
+// benchmark to each.
+package experiments
+
+// Scale bundles every size knob of the evaluation. Quick scale finishes
+// the full suite in minutes on a laptop and is what the benchmarks use;
+// paper scale matches the paper's n = 5,000 / B = 10,000 setting (with the
+// DP capped, since the paper itself reports >3,000 s for DP at B = 10,000).
+type Scale struct {
+	// Name labels output ("quick", "paper").
+	Name string
+	// Seed drives dataset generation and all stochastic strategies.
+	Seed int64
+	// N is the resource count of the main corpus.
+	N int
+	// Budget is the maximum budget of the budget-sweep figures (6a–6d).
+	Budget int
+	// Steps is the number of budget checkpoints in sweeps.
+	Steps int
+	// Omega is the MA window ω used by MU and FP-MU (paper default: 5).
+	Omega int
+
+	// NSeries are the resource counts of Figures 6(e) and 6(h).
+	NSeries []int
+	// FixedBudgetE is the budget used while n varies (Figure 6(e)).
+	FixedBudgetE int
+	// BudgetSeries are the budgets of the runtime sweep (Figure 6(g)).
+	BudgetSeries []int
+	// OmegaSeries is the ω sweep of Figure 6(f).
+	OmegaSeries []int
+	// OmegaBudget is the budget used during the ω sweep.
+	OmegaBudget int
+
+	// DPMaxN / DPMaxBudget cap the instances DP participates in; beyond
+	// them DP rows are omitted (the paper's own runtime figure shows why).
+	DPMaxN, DPMaxBudget int
+
+	// PairSample is the number of resource pairs used by the Kendall-τ
+	// ranking accuracy experiments (Figure 7).
+	PairSample int
+	// TauBudgets are the budget values of Figure 7(a).
+	TauBudgets []int
+
+	// CaseBudget is the budget of the Table VI/VII case studies.
+	CaseBudget int
+	// TopK is the case-study list length (paper: 10).
+	TopK int
+
+	// Fig1aPosts is how many posts the tag-convergence figure replays.
+	Fig1aPosts int
+	// Fig1bResources is the size of the simulated "full crawl" whose
+	// posts-per-resource histogram reproduces Figure 1(b).
+	Fig1bResources int
+}
+
+// Quick returns the fast calibration used by tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		Name:   "quick",
+		Seed:   42,
+		N:      600,
+		Budget: 2000,
+		Steps:  10,
+		Omega:  5,
+
+		NSeries:      []int{100, 200, 300, 400, 500, 600},
+		FixedBudgetE: 1000,
+		BudgetSeries: []int{250, 500, 1000, 2000, 4000},
+		OmegaSeries:  []int{2, 3, 4, 5, 6, 8, 10, 12, 16},
+		OmegaBudget:  1200,
+
+		DPMaxN:      650,
+		DPMaxBudget: 2000,
+
+		PairSample: 20000,
+		TauBudgets: []int{0, 500, 1000, 1500, 2000},
+
+		CaseBudget: 3000,
+		TopK:       10,
+
+		Fig1aPosts:     500,
+		Fig1bResources: 200000,
+	}
+}
+
+// Paper returns the paper-scale configuration (n = 5,000; B up to
+// 10,000). DP is capped at a sub-instance to keep the suite finite, as
+// flagged in the output.
+func Paper() Scale {
+	return Scale{
+		Name:   "paper",
+		Seed:   2013,
+		N:      5000,
+		Budget: 10000,
+		Steps:  10,
+		Omega:  5,
+
+		NSeries:      []int{1000, 2000, 3000, 4000, 5000},
+		FixedBudgetE: 5000,
+		BudgetSeries: []int{1000, 3162, 10000, 31623, 100000},
+		OmegaSeries:  []int{2, 4, 6, 8, 10, 12, 14, 16},
+		OmegaBudget:  5000,
+
+		DPMaxN:      1500,
+		DPMaxBudget: 5000,
+
+		PairSample: 200000,
+		TauBudgets: []int{0, 2500, 5000, 7500, 10000},
+
+		CaseBudget: 10000,
+		TopK:       10,
+
+		Fig1aPosts:     500,
+		Fig1bResources: 2000000,
+	}
+}
+
+// Tiny returns a minimal scale for unit tests of the runners themselves.
+func Tiny() Scale {
+	return Scale{
+		Name:   "tiny",
+		Seed:   7,
+		N:      60,
+		Budget: 200,
+		Steps:  4,
+		Omega:  5,
+
+		NSeries:      []int{20, 40, 60},
+		FixedBudgetE: 100,
+		BudgetSeries: []int{50, 100, 200},
+		OmegaSeries:  []int{2, 5, 8},
+		OmegaBudget:  100,
+
+		DPMaxN:      100,
+		DPMaxBudget: 200,
+
+		PairSample: 500,
+		TauBudgets: []int{0, 100, 200},
+
+		CaseBudget: 200,
+		TopK:       5,
+
+		Fig1aPosts:     120,
+		Fig1bResources: 5000,
+	}
+}

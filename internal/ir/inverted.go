@@ -1,0 +1,144 @@
+package ir
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// InvertedIndex accelerates top-k similarity queries with tag→resource
+// postings: instead of scoring all n resources against the subject
+// (O(n·s) for support size s), only resources sharing at least one tag
+// with the subject are touched. On topically-clustered corpora — exactly
+// what tagging data is — candidates are a small fraction of n.
+//
+// Scores are exact cosine similarities (Equation 16), identical to
+// Index.TopK; only the candidate enumeration differs. The structure is
+// immutable after Build.
+type InvertedIndex struct {
+	rfds     []*sparse.Counts
+	postings map[tags.Tag][]posting
+}
+
+// posting is one (resource, count) pair of a tag's posting list.
+type posting struct {
+	id    int32
+	count int64
+}
+
+// BuildInverted indexes the given rfd snapshots.
+func BuildInverted(rfds []*sparse.Counts) *InvertedIndex {
+	ix := &InvertedIndex{
+		rfds:     rfds,
+		postings: make(map[tags.Tag][]posting),
+	}
+	for id, c := range rfds {
+		for _, t := range c.Support() {
+			ix.postings[t] = append(ix.postings[t], posting{id: int32(id), count: c.Get(t)})
+		}
+	}
+	return ix
+}
+
+// N returns the number of indexed resources.
+func (ix *InvertedIndex) N() int { return len(ix.rfds) }
+
+// PostingLen returns the posting-list length of tag t (diagnostics).
+func (ix *InvertedIndex) PostingLen(t tags.Tag) int { return len(ix.postings[t]) }
+
+// TopK returns the k most similar resources to subject, identical in
+// content to Index.TopK but touching only candidates that share a tag
+// with the subject. Resources with zero overlap have cosine 0 and can
+// never outrank any overlapping candidate unless fewer than k candidates
+// exist, in which case zero-scored resources pad the tail (smallest id
+// first), matching the exhaustive implementation.
+func (ix *InvertedIndex) TopK(subject, k int) []Scored {
+	if k <= 0 || subject < 0 || subject >= len(ix.rfds) {
+		return nil
+	}
+	subj := ix.rfds[subject]
+	// Accumulate dot products over the subject's postings.
+	dots := make(map[int32]float64)
+	for _, t := range subj.Support() {
+		sc := float64(subj.Get(t))
+		for _, p := range ix.postings[t] {
+			if int(p.id) == subject {
+				continue
+			}
+			dots[p.id] += sc * float64(p.count)
+		}
+	}
+	h := make(scoredHeap, 0, k+1)
+	push := func(id int, score float64) {
+		if len(h) < k {
+			heap.Push(&h, Scored{ID: id, Score: score})
+		} else if h[0].Score < score || (h[0].Score == score && h[0].ID > id) {
+			heap.Pop(&h)
+			heap.Push(&h, Scored{ID: id, Score: score})
+		}
+	}
+	subjNorm := math.Sqrt(subj.Norm2())
+	for id, dot := range dots {
+		o := ix.rfds[id]
+		if o.Posts() == 0 || o.Norm2() == 0 || subjNorm == 0 {
+			continue
+		}
+		s := dot / (subjNorm * math.Sqrt(o.Norm2()))
+		if s > 1 {
+			s = 1
+		}
+		push(int(id), s)
+	}
+	// Pad with zero-similarity resources if the candidate set was small.
+	if len(h) < k {
+		present := make(map[int]bool, len(h))
+		for _, s := range h {
+			present[s.ID] = true
+		}
+		for id := 0; id < len(ix.rfds) && len(h) < k; id++ {
+			if id == subject || present[id] {
+				continue
+			}
+			if _, overlapped := dots[int32(id)]; overlapped {
+				continue
+			}
+			push(id, 0)
+		}
+	}
+	out := make([]Scored, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Scored)
+	}
+	// The zero-padding insertion order is id-ascending already; the heap
+	// tiebreak keeps the exhaustive semantics. Normalize exact ties for
+	// determinism.
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Stats summarizes index shape for diagnostics and tests.
+type InvertedStats struct {
+	Tags        int
+	Postings    int
+	MaxPostings int
+}
+
+// Stat computes posting-list statistics.
+func (ix *InvertedIndex) Stat() InvertedStats {
+	st := InvertedStats{Tags: len(ix.postings)}
+	for _, pl := range ix.postings {
+		st.Postings += len(pl)
+		if len(pl) > st.MaxPostings {
+			st.MaxPostings = len(pl)
+		}
+	}
+	return st
+}

@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"math"
+	"testing"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// The inverted index must return exactly what the exhaustive index does.
+func TestInvertedMatchesExhaustive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ix := randomIndex(seed, 80, 30)
+		inv := BuildInverted(ix.RFDs())
+		for _, subject := range []int{0, 40, 79} {
+			for _, k := range []int{1, 10, 79} {
+				a := ix.TopK(subject, k)
+				b := inv.TopK(subject, k)
+				if len(a) != len(b) {
+					t.Fatalf("seed %d subject %d k=%d: %d vs %d results", seed, subject, k, len(a), len(b))
+				}
+				// Scores must match rank-by-rank; within a tie group
+				// (equal scores up to float noise) the two
+				// implementations may order ids differently, so compare
+				// tie groups as sets.
+				const tol = 1e-9
+				for i := range a {
+					if math.Abs(a[i].Score-b[i].Score) > tol {
+						t.Fatalf("seed %d subject %d k=%d rank %d: score %.12f vs %.12f",
+							seed, subject, k, i, a[i].Score, b[i].Score)
+					}
+				}
+				i := 0
+				for i < len(a) {
+					j := i + 1
+					for j < len(a) && a[j].Score > a[i].Score-tol {
+						j++
+					}
+					setA := map[int]bool{}
+					setB := map[int]bool{}
+					for x := i; x < j; x++ {
+						setA[a[x].ID] = true
+						setB[b[x].ID] = true
+					}
+					// Boundary ties can swap members across the k cut;
+					// only require full equality for interior groups.
+					if j < len(a) {
+						for id := range setA {
+							if !setB[id] {
+								t.Fatalf("seed %d subject %d k=%d: tie group [%d,%d) differs", seed, subject, k, i, j)
+							}
+						}
+					}
+					i = j
+				}
+			}
+		}
+	}
+}
+
+// Sparse corpora exercise the zero-similarity padding path: disjoint
+// supports mean fewer candidates than k.
+func TestInvertedZeroPadding(t *testing.T) {
+	rfds := make([]*sparse.Counts, 6)
+	for i := range rfds {
+		c := sparse.NewCounts()
+		// Resources 0 and 1 share tag 100; the rest are disjoint.
+		if i <= 1 {
+			c.Add(tags.MustPost(100, tags.Tag(200+i)))
+		} else {
+			c.Add(tags.MustPost(tags.Tag(300 + 10*i)))
+		}
+		rfds[i] = c
+	}
+	inv := BuildInverted(rfds)
+	ex := NewIndex(rfds)
+	got := inv.TopK(0, 4)
+	want := ex.TopK(0, 4)
+	if len(got) != 4 || len(want) != 4 {
+		t.Fatalf("lengths %d / %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: (%d,%.6f) vs (%d,%.6f)", i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+	if got[0].ID != 1 || got[0].Score <= 0 {
+		t.Errorf("overlapping resource not ranked first: %+v", got[0])
+	}
+	if got[1].Score != 0 {
+		t.Errorf("expected zero-similarity padding from rank 2: %+v", got[1])
+	}
+}
+
+func TestInvertedEdgeCases(t *testing.T) {
+	ix := randomIndex(9, 10, 8)
+	inv := BuildInverted(ix.RFDs())
+	if inv.TopK(-1, 3) != nil || inv.TopK(99, 3) != nil || inv.TopK(0, 0) != nil {
+		t.Error("invalid queries returned results")
+	}
+	if inv.N() != 10 {
+		t.Errorf("N = %d", inv.N())
+	}
+	st := inv.Stat()
+	if st.Tags == 0 || st.Postings == 0 || st.MaxPostings == 0 {
+		t.Errorf("Stat = %+v", st)
+	}
+}

@@ -1,0 +1,178 @@
+// Package ir implements the tag-based information-retrieval layer of the
+// paper's case studies (§V-C): resource–resource cosine similarity over
+// rfd's, top-k similar-resource queries (Tables VI–VII), and all-pairs
+// similarity rankings whose accuracy against taxonomy ground truth is
+// measured with Kendall's τ (Figure 7).
+package ir
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/stats"
+	"incentivetag/internal/taxonomy"
+)
+
+// Index is a snapshot of every resource's rfd at some point of a
+// simulation (e.g. "Jan 31", "FC with B=10,000", "Dec 31").
+type Index struct {
+	rfds []*sparse.Counts
+}
+
+// NewIndex wraps the given rfd snapshots; the slice is retained.
+func NewIndex(rfds []*sparse.Counts) *Index {
+	return &Index{rfds: rfds}
+}
+
+// N returns the number of resources.
+func (ix *Index) N() int { return len(ix.rfds) }
+
+// RFD returns resource i's snapshot.
+func (ix *Index) RFD(i int) *sparse.Counts { return ix.rfds[i] }
+
+// RFDs exposes the underlying snapshot slice (shared, do not mutate);
+// used to build accelerated indexes over the same data.
+func (ix *Index) RFDs() []*sparse.Counts { return ix.rfds }
+
+// Similarity returns the cosine similarity of resources a and b.
+func (ix *Index) Similarity(a, b int) float64 {
+	return ix.rfds[a].Cosine(ix.rfds[b])
+}
+
+// Scored is one ranked query answer.
+type Scored struct {
+	ID    int
+	Score float64
+}
+
+// scoredHeap is a min-heap on Score (ties broken toward larger id so the
+// final sorted output prefers smaller ids), used to keep the best k.
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(a, b int) bool {
+	if h[a].Score != h[b].Score {
+		return h[a].Score < h[b].Score
+	}
+	return h[a].ID > h[b].ID
+}
+func (h scoredHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TopK returns the k resources most similar to subject (excluding the
+// subject itself), in descending similarity order — the paper's "Top-10
+// Similar Resources" query (§V-C.1).
+func (ix *Index) TopK(subject, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	h := make(scoredHeap, 0, k+1)
+	for i := range ix.rfds {
+		if i == subject {
+			continue
+		}
+		s := ix.Similarity(subject, i)
+		if len(h) < k {
+			heap.Push(&h, Scored{ID: i, Score: s})
+		} else if h[0].Score < s || (h[0].Score == s && h[0].ID > i) {
+			heap.Pop(&h)
+			heap.Push(&h, Scored{ID: i, Score: s})
+		}
+	}
+	out := make([]Scored, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Scored)
+	}
+	return out
+}
+
+// Pair is an unordered resource pair (A < B).
+type Pair struct{ A, B int }
+
+// AllPairs enumerates every unordered pair of [0, n).
+func AllPairs(n int) []Pair {
+	out := make([]Pair, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, Pair{a, b})
+		}
+	}
+	return out
+}
+
+// SamplePairs draws m distinct unordered pairs uniformly (with rejection)
+// from [0, n); if m ≥ C(n,2) it returns AllPairs(n). Pair sampling keeps
+// the Figure 7 experiment tractable at paper scale (5,000 resources have
+// 12.5M pairs).
+func SamplePairs(n, m int, seed int64) []Pair {
+	total := n * (n - 1) / 2
+	if m >= total {
+		return AllPairs(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[Pair]bool, m)
+	out := make([]Pair, 0, m)
+	for len(out) < m {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		p := Pair{a, b}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// PairSimilarities evaluates the index's cosine similarity on each pair.
+func (ix *Index) PairSimilarities(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = ix.Similarity(p.A, p.B)
+	}
+	return out
+}
+
+// GroundTruth evaluates the taxonomy ground-truth similarity on each pair
+// given every resource's leaf assignment (§V-C.2: similarity from
+// hierarchy distance).
+func GroundTruth(tax *taxonomy.Tree, leaves []taxonomy.NodeID, pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = tax.Similarity(leaves[p.A], leaves[p.B])
+	}
+	return out
+}
+
+// RankingAccuracy is the paper's Figure 7 measure: Kendall's τ between the
+// tag-derived pair similarities and the ground-truth pair similarities.
+func RankingAccuracy(simVals, truthVals []float64) (float64, error) {
+	if len(simVals) != len(truthVals) {
+		return 0, fmt.Errorf("ir: %d similarities vs %d truths", len(simVals), len(truthVals))
+	}
+	return stats.KendallTau(simVals, truthVals)
+}

@@ -1,0 +1,221 @@
+package ir
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+	"incentivetag/internal/taxonomy"
+)
+
+// randomIndex builds n random rfd snapshots over dim tags.
+func randomIndex(seed int64, n, dim int) *Index {
+	rng := rand.New(rand.NewSource(seed))
+	rfds := make([]*sparse.Counts, n)
+	for i := range rfds {
+		c := sparse.NewCounts()
+		for k := 0; k < 5+rng.Intn(20); k++ {
+			m := 1 + rng.Intn(3)
+			ts := make([]tags.Tag, m)
+			for j := range ts {
+				ts[j] = tags.Tag(rng.Intn(dim))
+			}
+			p, err := tags.NewPost(ts...)
+			if err != nil {
+				panic(err)
+			}
+			c.Add(p)
+		}
+		rfds[i] = c
+	}
+	return NewIndex(rfds)
+}
+
+// TopK must agree with a full sort.
+func TestTopKMatchesFullSort(t *testing.T) {
+	ix := randomIndex(1, 60, 12)
+	for _, subject := range []int{0, 17, 59} {
+		for _, k := range []int{1, 5, 10, 59, 100} {
+			got := ix.TopK(subject, k)
+			// Reference: all similarities sorted descending, id ascending on
+			// ties.
+			type sc struct {
+				id int
+				s  float64
+			}
+			var all []sc
+			for i := 0; i < ix.N(); i++ {
+				if i == subject {
+					continue
+				}
+				all = append(all, sc{i, ix.Similarity(subject, i)})
+			}
+			sort.Slice(all, func(a, b int) bool {
+				if all[a].s != all[b].s {
+					return all[a].s > all[b].s
+				}
+				return all[a].id < all[b].id
+			})
+			want := all
+			if k < len(all) {
+				want = all[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("subject %d k=%d: %d results, want %d", subject, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].id || math.Abs(got[i].Score-want[i].s) > 1e-12 {
+					t.Fatalf("subject %d k=%d rank %d: got (%d,%.6f) want (%d,%.6f)",
+						subject, k, i, got[i].ID, got[i].Score, want[i].id, want[i].s)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	ix := randomIndex(2, 5, 6)
+	if got := ix.TopK(0, 0); got != nil {
+		t.Error("k=0 returned results")
+	}
+	if got := ix.TopK(0, -1); got != nil {
+		t.Error("negative k returned results")
+	}
+	got := ix.TopK(2, 10)
+	if len(got) != 4 {
+		t.Errorf("k beyond n returned %d results, want 4", len(got))
+	}
+	for _, s := range got {
+		if s.ID == 2 {
+			t.Error("subject included in its own top-k")
+		}
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	ps := AllPairs(4)
+	if len(ps) != 6 {
+		t.Fatalf("AllPairs(4) has %d pairs", len(ps))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range ps {
+		if p.A >= p.B {
+			t.Fatalf("unordered pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	ps := SamplePairs(50, 100, 3)
+	if len(ps) != 100 {
+		t.Fatalf("sampled %d pairs, want 100", len(ps))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range ps {
+		if p.A >= p.B || p.B >= 50 {
+			t.Fatalf("bad pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	// Requesting ≥ C(n,2) falls back to all pairs.
+	all := SamplePairs(10, 1000, 3)
+	if len(all) != 45 {
+		t.Errorf("oversample returned %d pairs, want 45", len(all))
+	}
+	// Determinism.
+	ps2 := SamplePairs(50, 100, 3)
+	for i := range ps {
+		if ps[i] != ps2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestGroundTruthAndAccuracy(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	leaves := tax.Leaves()
+	// Three resources: two in the same leaf, one far away.
+	rl := []taxonomy.NodeID{leaves[0], leaves[0], leaves[len(leaves)-1]}
+	pairs := AllPairs(3)
+	truth := GroundTruth(tax, rl, pairs)
+	if len(truth) != 3 {
+		t.Fatal("truth length wrong")
+	}
+	// Pair (0,1) same leaf → highest similarity.
+	var p01, p02 float64
+	for i, p := range pairs {
+		if p == (Pair{0, 1}) {
+			p01 = truth[i]
+		}
+		if p == (Pair{0, 2}) {
+			p02 = truth[i]
+		}
+	}
+	if !(p01 > p02) {
+		t.Errorf("same-leaf truth %g not above far truth %g", p01, p02)
+	}
+
+	// RankingAccuracy: identical vectors → τ = 1.
+	tau, err := RankingAccuracy(truth, truth)
+	if err != nil || math.Abs(tau-1) > 1e-12 {
+		t.Errorf("self accuracy τ=%g err=%v", tau, err)
+	}
+	if _, err := RankingAccuracy(truth, truth[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// An index whose rfds mirror the taxonomy must score positive accuracy.
+func TestAccuracyPositiveForAlignedIndex(t *testing.T) {
+	tax := taxonomy.BuildDefault(48)
+	leaves := tax.Leaves()
+	n := 40
+	rl := make([]taxonomy.NodeID, n)
+	rfds := make([]*sparse.Counts, n)
+	for i := 0; i < n; i++ {
+		leaf := leaves[i%8]
+		rl[i] = leaf
+		c := sparse.NewCounts()
+		// Tag id = leaf id: same-category resources share their tag.
+		for k := 0; k < 10; k++ {
+			c.Add(tags.MustPost(tags.Tag(leaf), tags.Tag(1000+i%3)))
+		}
+		rfds[i] = c
+	}
+	ix := NewIndex(rfds)
+	pairs := AllPairs(n)
+	tau, err := RankingAccuracy(ix.PairSimilarities(pairs), GroundTruth(tax, rl, pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The construction only distinguishes same-leaf vs rest while the
+	// truth has three levels, so τ-b sits well below 1 but must be
+	// clearly positive.
+	if tau <= 0.15 {
+		t.Errorf("aligned index accuracy τ=%g, want clearly positive", tau)
+	}
+}
+
+func TestPairSimilaritiesSymmetricBounds(t *testing.T) {
+	ix := randomIndex(9, 20, 8)
+	pairs := SamplePairs(20, 50, 1)
+	vals := ix.PairSimilarities(pairs)
+	for i, v := range vals {
+		if v < 0 || v > 1 {
+			t.Fatalf("similarity %g out of [0,1]", v)
+		}
+		if got := ix.Similarity(pairs[i].B, pairs[i].A); math.Abs(got-v) > 1e-12 {
+			t.Fatal("similarity not symmetric")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package optimal
+
+import (
+	"fmt"
+	"sort"
+
+	"incentivetag/internal/core"
+	"incentivetag/internal/quality"
+)
+
+// SolveGreedy is the concave-envelope marginal-gain oracle: an offline
+// baseline between the practical strategies and the exact DP. The paper
+// does not evaluate it; it is included as an ablation of the DP's cost.
+//
+// Plain one-step greedy fails on tagging quality curves because they are
+// noisy at small k: a resource may need a dozen posts before its quality
+// rises, so its first-post gain looks worthless (a plateau trap). The fix
+// is classical: take each resource's upper concave envelope (the best
+// achievable average gain for any prefix of posts), split it into
+// segments of decreasing slope, and consume segments globally by
+// gain-per-cost. Within a resource, envelope slopes decrease along x, so
+// global slope order never skips a prefix. For concave curves the
+// envelope is the curve itself and the result is exactly optimal; in
+// general it solves the LP relaxation and rounds down to whole posts.
+//
+// Complexity: O(Σ|curve| + S log S) for S total segments — effectively
+// O(n·x̄) against the DP's O(n·B²).
+func SolveGreedy(curves []quality.Curve, B int, costs []int) (core.Assignment, float64, error) {
+	n := len(curves)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("optimal: no resources")
+	}
+	if B < 0 {
+		return nil, 0, fmt.Errorf("optimal: negative budget %d", B)
+	}
+	if costs != nil && len(costs) != n {
+		return nil, 0, fmt.Errorf("optimal: %d costs for %d resources", len(costs), n)
+	}
+	costOf := func(i int) int {
+		if costs == nil {
+			return 1
+		}
+		return costs[i]
+	}
+
+	// envSeg is one decreasing-slope envelope segment of a resource:
+	// moving from x=from to x=to gains (to−from)·slope·cost total quality.
+	type envSeg struct {
+		id       int
+		from, to int
+		slope    float64 // quality gain per reward unit
+	}
+	var segs []envSeg
+	for i, c := range curves {
+		hull := upperEnvelope(c)
+		w := float64(costOf(i))
+		for j := 1; j < len(hull); j++ {
+			from, to := hull[j-1], hull[j]
+			gain := c.At(to) - c.At(from)
+			if gain <= 0 {
+				break // envelope is concave: later segments only worse
+			}
+			segs = append(segs, envSeg{
+				id:    i,
+				from:  from,
+				to:    to,
+				slope: gain / (float64(to-from) * w),
+			})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool {
+		if segs[a].slope != segs[b].slope {
+			return segs[a].slope > segs[b].slope
+		}
+		if segs[a].id != segs[b].id {
+			return segs[a].id < segs[b].id
+		}
+		return segs[a].from < segs[b].from
+	})
+
+	x := make(core.Assignment, n)
+	remaining := B
+	for _, sg := range segs {
+		if remaining <= 0 {
+			break
+		}
+		w := costOf(sg.id)
+		// Within a resource, segments arrive in from-ascending order
+		// (decreasing slope); x[sg.id] == sg.from unless an earlier
+		// partial take stopped short, in which case skip the rest.
+		if x[sg.id] != sg.from {
+			continue
+		}
+		units := sg.to - sg.from
+		if afford := remaining / w; afford < units {
+			units = afford
+		}
+		x[sg.id] += units
+		remaining -= units * w
+	}
+
+	var total float64
+	for i, xi := range x {
+		total += curves[i].At(xi)
+	}
+	return x, total, nil
+}
+
+// upperEnvelope returns the x-breakpoints (starting at 0, ending at
+// MaxX) of the upper concave envelope of the curve's points (x, q(x)),
+// computed with a monotone-chain scan.
+func upperEnvelope(c quality.Curve) []int {
+	m := c.MaxX()
+	hull := make([]int, 0, 8)
+	hull = append(hull, 0)
+	for x := 1; x <= m; x++ {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Slope a→b must stay ≥ slope b→x; pop b otherwise.
+			lhs := (c.At(b) - c.At(a)) * float64(x-b)
+			rhs := (c.At(x) - c.At(b)) * float64(b-a)
+			if lhs < rhs {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, x)
+	}
+	// Keep only breakpoints (drop collinear interior points) — not
+	// required for correctness, but keeps the segment count small.
+	out := hull[:1]
+	for i := 1; i < len(hull); i++ {
+		if i == len(hull)-1 {
+			out = append(out, hull[i])
+			continue
+		}
+		a, b, d := out[len(out)-1], hull[i], hull[i+1]
+		lhs := (c.At(b) - c.At(a)) * float64(d-b)
+		rhs := (c.At(d) - c.At(b)) * float64(b-a)
+		if lhs != rhs {
+			out = append(out, hull[i])
+		}
+	}
+	return out
+}

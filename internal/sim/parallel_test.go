@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Parallel curve building must be bit-identical to the sequential path.
+func TestBuildCurvesParallelMatchesSequential(t *testing.T) {
+	d := testData(t, 40, 21)
+	seq, err := BuildCurves(d, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildCurvesParallel(d, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if len(seq[i]) != len(par[i]) {
+			t.Fatalf("resource %d: curve lengths %d vs %d", i, len(seq[i]), len(par[i]))
+		}
+		for x := range seq[i] {
+			if math.Abs(seq[i][x]-par[i][x]) != 0 {
+				t.Fatalf("resource %d x=%d: %.17g vs %.17g", i, x, seq[i][x], par[i][x])
+			}
+		}
+	}
+}
+
+func TestBuildCurvesParallelError(t *testing.T) {
+	d := testData(t, 5, 22)
+	d.Initial[2] = len(d.Seqs[2]) + 3 // poison one resource
+	if _, err := BuildCurvesParallel(d, 10); err == nil {
+		t.Error("poisoned data accepted")
+	}
+}

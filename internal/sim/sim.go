@@ -1,0 +1,363 @@
+// Package sim implements the paper's evaluation protocol (§V-A) as a
+// deterministic replay simulation:
+//
+//   - each resource's recorded post sequence is split into an initial
+//     prefix ("posts given in January 2007", the c vector) and a future
+//     suffix;
+//   - when a strategy allocates a post task to a resource, the task's
+//     result is the resource's next unconsumed recorded post;
+//   - strategies observe only the past (counts and MA scores), while the
+//     offline DP may read whole sequences through the quality curves.
+//
+// The simulator doubles as the strategy.Env implementation and collects
+// the metric series behind Figures 6(a)–(h): mean tagging quality,
+// over-tagged resource counts, wasted post tasks, under-tagged
+// percentages, and wall-clock runtime.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"incentivetag/internal/core"
+	"incentivetag/internal/quality"
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/stability"
+	"incentivetag/internal/strategy"
+	"incentivetag/internal/synth"
+	"incentivetag/internal/tags"
+)
+
+// Data is the immutable replay input shared by all runs.
+type Data struct {
+	// Seqs[i] is resource i's full recorded post sequence.
+	Seqs []tags.Seq
+	// Initial[i] is c_i, the prefix length already tagged at start.
+	Initial []int
+	// StableK[i] is the resource's stable point k*_i (posts at or beyond
+	// it are "wasted" per §V-B.2).
+	StableK []int
+	// Refs[i] is the stable rfd reference used by the quality metric.
+	Refs []*quality.Reference
+	// Costs is the optional per-task cost vector (nil = unit costs).
+	Costs []int
+	// UnderThreshold is the under-tagged post-count threshold (paper: 10).
+	UnderThreshold int
+}
+
+// FromDataset adapts a synthetic dataset (optionally restricted to the
+// first n resources; n ≤ 0 means all).
+func FromDataset(ds *synth.Dataset, n int) *Data {
+	total := ds.N()
+	if n <= 0 || n > total {
+		n = total
+	}
+	d := &Data{
+		Seqs:           make([]tags.Seq, n),
+		Initial:        make([]int, n),
+		StableK:        make([]int, n),
+		Refs:           make([]*quality.Reference, n),
+		UnderThreshold: ds.Cfg.UnderTaggedThreshold,
+	}
+	for i := 0; i < n; i++ {
+		r := &ds.Resources[i]
+		d.Seqs[i] = r.Seq
+		d.Initial[i] = r.Initial
+		d.StableK[i] = r.StableK
+		d.Refs[i] = quality.NewReference(r.StableRFD)
+	}
+	return d
+}
+
+// N returns the number of resources.
+func (d *Data) N() int { return len(d.Seqs) }
+
+// Validate checks internal consistency.
+func (d *Data) Validate() error {
+	n := len(d.Seqs)
+	if len(d.Initial) != n || len(d.StableK) != n || len(d.Refs) != n {
+		return fmt.Errorf("sim: inconsistent data vectors")
+	}
+	if d.Costs != nil && len(d.Costs) != n {
+		return fmt.Errorf("sim: %d costs for %d resources", len(d.Costs), n)
+	}
+	for i := 0; i < n; i++ {
+		if d.Initial[i] < 0 || d.Initial[i] > len(d.Seqs[i]) {
+			return fmt.Errorf("sim: resource %d initial %d outside [0,%d]", i, d.Initial[i], len(d.Seqs[i]))
+		}
+		if d.StableK[i] <= 0 || d.StableK[i] > len(d.Seqs[i]) {
+			return fmt.Errorf("sim: resource %d stable point %d outside (0,%d]", i, d.StableK[i], len(d.Seqs[i]))
+		}
+		if d.Refs[i] == nil {
+			return fmt.Errorf("sim: resource %d missing stable rfd reference", i)
+		}
+	}
+	return nil
+}
+
+// MaxBudget returns the total number of replayable future posts — the
+// largest budget any strategy can actually spend.
+func (d *Data) MaxBudget() int {
+	total := 0
+	for i := range d.Seqs {
+		total += len(d.Seqs[i]) - d.Initial[i]
+	}
+	return total
+}
+
+// State is one mutable simulation run. It implements strategy.Env and
+// strategy.OrganicWeighter.
+type State struct {
+	data     *Data
+	omega    int
+	rng      *rand.Rand
+	trackers []*stability.Tracker
+	consumed []int // Initial[i] + x[i]
+	x        core.Assignment
+	wasted   int
+	spent    int
+}
+
+// NewState primes a fresh run: trackers replay each resource's initial
+// prefix so MA scores reflect the January state.
+func NewState(data *Data, omega int, seed int64) *State {
+	st := &State{
+		data:     data,
+		omega:    omega,
+		rng:      rand.New(rand.NewSource(seed)),
+		trackers: make([]*stability.Tracker, data.N()),
+		consumed: make([]int, data.N()),
+		x:        make(core.Assignment, data.N()),
+	}
+	for i := 0; i < data.N(); i++ {
+		tr := stability.NewTracker(omega)
+		for k := 0; k < data.Initial[i]; k++ {
+			tr.Observe(data.Seqs[i][k])
+		}
+		st.trackers[i] = tr
+		st.consumed[i] = data.Initial[i]
+	}
+	return st
+}
+
+// --- strategy.Env implementation ---
+
+// N returns the number of resources.
+func (st *State) N() int { return st.data.N() }
+
+// Count returns c_i + x_i.
+func (st *State) Count(i int) int { return st.consumed[i] }
+
+// MA returns the resource's current MA score.
+func (st *State) MA(i int) (float64, bool) { return st.trackers[i].MA() }
+
+// Available reports whether recorded future posts remain for i.
+func (st *State) Available(i int) bool { return st.consumed[i] < len(st.data.Seqs[i]) }
+
+// Cost returns the reward units of one post task on i.
+func (st *State) Cost(i int) int {
+	if st.data.Costs == nil {
+		return 1
+	}
+	return st.data.Costs[i]
+}
+
+// Rand returns the run's deterministic RNG.
+func (st *State) Rand() *rand.Rand { return st.rng }
+
+// OrganicWeight is the resource's organic future post volume at run start
+// (free-choice popularity).
+func (st *State) OrganicWeight(i int) float64 {
+	return float64(len(st.data.Seqs[i]) - st.data.Initial[i])
+}
+
+// --- metrics ---
+
+// Checkpoint is a metric snapshot at a given spent budget.
+type Checkpoint struct {
+	Budget      int
+	MeanQuality float64
+	OverTagged  int
+	UnderTagged int
+	// UnderTaggedPct = UnderTagged / n.
+	UnderTaggedPct float64
+	// WastedPosts counts post tasks allocated to resources already at or
+	// past their stable point when the task ran.
+	WastedPosts int
+	// Elapsed is cumulative strategy+replay wall time, excluding metric
+	// computation.
+	Elapsed time.Duration
+}
+
+// snapshot computes the current metric values.
+func (st *State) snapshot(elapsed time.Duration) Checkpoint {
+	n := st.data.N()
+	cp := Checkpoint{Budget: st.spent, WastedPosts: st.wasted, Elapsed: elapsed}
+	var qsum float64
+	for i := 0; i < n; i++ {
+		qsum += st.data.Refs[i].Of(st.trackers[i].Counts())
+		if st.consumed[i] >= st.data.StableK[i] {
+			cp.OverTagged++
+		}
+		if st.consumed[i] <= st.data.UnderThreshold {
+			cp.UnderTagged++
+		}
+	}
+	cp.MeanQuality = qsum / float64(n)
+	cp.UnderTaggedPct = float64(cp.UnderTagged) / float64(n)
+	return cp
+}
+
+// Quality returns the current mean tagging quality q(R, ·).
+func (st *State) Quality() float64 { return st.snapshot(0).MeanQuality }
+
+// SnapshotRFDs clones every resource's current rfd counts — the input of
+// the similarity case studies (§V-C).
+func (st *State) SnapshotRFDs() []*sparse.Counts {
+	out := make([]*sparse.Counts, len(st.trackers))
+	for i, tr := range st.trackers {
+		out[i] = tr.Snapshot()
+	}
+	return out
+}
+
+// Assignment returns a copy of the tasks allocated so far.
+func (st *State) Assignment() core.Assignment { return st.x.Clone() }
+
+// Spent returns the budget consumed so far.
+func (st *State) Spent() int { return st.spent }
+
+// Step allocates one post task to resource i, replaying its next recorded
+// post. It returns an error if the resource is exhausted.
+func (st *State) Step(i int) error {
+	if i < 0 || i >= st.data.N() {
+		return fmt.Errorf("sim: resource index %d out of range", i)
+	}
+	if !st.Available(i) {
+		return fmt.Errorf("sim: resource %d has no replayable posts left", i)
+	}
+	if st.consumed[i] >= st.data.StableK[i] {
+		st.wasted++
+	}
+	st.trackers[i].Observe(st.data.Seqs[i][st.consumed[i]])
+	st.consumed[i]++
+	st.x[i]++
+	st.spent += st.Cost(i)
+	return nil
+}
+
+// Run drives Algorithm 1: repeatedly CHOOSE a resource, complete one post
+// task on it via replay, and UPDATE the strategy, until the budget is
+// exhausted or the strategy has nothing to allocate. Snapshots are taken
+// whenever spent budget crosses one of the ascending checkpoint values
+// (checkpoints == nil records only the final state).
+func (st *State) Run(s strategy.Strategy, budget int, checkpoints []int) ([]Checkpoint, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("sim: negative budget %d", budget)
+	}
+	var out []Checkpoint
+	var metricTime time.Duration
+	start := time.Now()
+
+	next := 0
+	record := func() {
+		ms := time.Now()
+		out = append(out, st.snapshot(time.Since(start)-metricTime))
+		metricTime += time.Since(ms)
+	}
+	// A checkpoint at 0 captures the initial state before any task.
+	for next < len(checkpoints) && checkpoints[next] <= st.spent {
+		record()
+		next++
+	}
+
+	s.Init(st)
+	for st.spent < budget {
+		i, ok := s.Choose(budget - st.spent)
+		if !ok {
+			break // nothing allocatable: replay exhausted or unaffordable
+		}
+		if err := st.Step(i); err != nil {
+			return nil, fmt.Errorf("sim: strategy %s chose invalid resource: %w", s.Name(), err)
+		}
+		s.Update(i)
+		for next < len(checkpoints) && st.spent >= checkpoints[next] {
+			record()
+			next++
+		}
+	}
+	if len(out) == 0 || out[len(out)-1].Budget != st.spent {
+		record()
+	}
+	return out, nil
+}
+
+// ApplyAssignment computes checkpoint-style metrics for a precomputed
+// assignment (the DP path) without running a strategy: it replays x_i
+// posts into each resource. Quality values should normally be taken from
+// the DP's Values array; this helper supplies the structural metrics
+// (over-/under-tagged, wasted posts).
+func ApplyAssignment(data *Data, x core.Assignment) (Checkpoint, error) {
+	if len(x) != data.N() {
+		return Checkpoint{}, fmt.Errorf("sim: assignment length %d != n %d", len(x), data.N())
+	}
+	n := data.N()
+	cp := Checkpoint{}
+	for i := 0; i < n; i++ {
+		if x[i] < 0 {
+			return Checkpoint{}, fmt.Errorf("sim: negative allocation x_%d = %d", i, x[i])
+		}
+		avail := len(data.Seqs[i]) - data.Initial[i]
+		if x[i] > avail {
+			return Checkpoint{}, fmt.Errorf("sim: x_%d = %d exceeds %d replayable posts", i, x[i], avail)
+		}
+		final := data.Initial[i] + x[i]
+		cost := 1
+		if data.Costs != nil {
+			cost = data.Costs[i]
+		}
+		cp.Budget += x[i] * cost
+		if final >= data.StableK[i] {
+			cp.OverTagged++
+		}
+		if final <= data.UnderThreshold {
+			cp.UnderTagged++
+		}
+		// Tasks run while the resource was at or past its stable point.
+		if wastedStart := data.StableK[i]; final > wastedStart {
+			from := data.Initial[i]
+			if from < wastedStart {
+				from = wastedStart
+			}
+			cp.WastedPosts += final - from
+		}
+	}
+	cp.UnderTaggedPct = float64(cp.UnderTagged) / float64(n)
+	// Mean quality by direct replay of the final counts.
+	var qsum float64
+	for i := 0; i < n; i++ {
+		tr := stability.NewTracker(2)
+		for k := 0; k < data.Initial[i]+x[i]; k++ {
+			tr.Observe(data.Seqs[i][k])
+		}
+		qsum += data.Refs[i].Of(tr.Counts())
+	}
+	cp.MeanQuality = qsum / float64(n)
+	return cp, nil
+}
+
+// BuildCurves precomputes every resource's quality curve up to
+// budgetBound extra posts — the DP's input (and the simulator's oracle
+// for objective evaluation).
+func BuildCurves(data *Data, budgetBound int) ([]quality.Curve, error) {
+	curves := make([]quality.Curve, data.N())
+	for i := range curves {
+		c, err := quality.BuildCurve(data.Seqs[i], data.Initial[i], budgetBound, data.Refs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: resource %d: %w", i, err)
+		}
+		curves[i] = c
+	}
+	return curves, nil
+}

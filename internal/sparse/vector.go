@@ -1,0 +1,251 @@
+// Package sparse implements sparse tag-frequency vectors and the cosine
+// similarity of Appendix A (Equation 16).
+//
+// The paper's rfd F_i(k) (Definition 5) is the tag-frequency vector h_i(·,k)
+// normalized by total tag occurrences (Definition 4). Because cosine
+// similarity is invariant under positive scaling, s(F_i(k), F_j(k')) equals
+// the cosine of the raw count vectors; this package therefore stores raw
+// counts and exposes both views. Keeping counts, not frequencies, is what
+// enables the O(|post|) incremental adjacent-similarity update used by the
+// MU strategy (Appendix C.4): adding one post perturbs only |post| entries.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"incentivetag/internal/tags"
+)
+
+// Counts is a sparse non-negative integer vector over tag ids. It tracks
+// the squared Euclidean norm and the L1 mass incrementally so cosine
+// similarity and relative frequencies never require a full scan beyond the
+// non-zero support.
+//
+// The zero value is NOT ready to use; call NewCounts.
+type Counts struct {
+	m     map[tags.Tag]int64
+	norm2 float64 // sum of squares of entries
+	mass  int64   // sum of entries (duplicate-counted tag occurrences)
+	posts int     // number of posts accumulated (k in the paper)
+}
+
+// NewCounts returns an empty count vector (k = 0 posts).
+func NewCounts() *Counts {
+	return &Counts{m: make(map[tags.Tag]int64)}
+}
+
+// Posts returns k, the number of posts accumulated so far.
+func (c *Counts) Posts() int { return c.posts }
+
+// Mass returns the total number of tag occurrences, the denominator of
+// Definition 4.
+func (c *Counts) Mass() int64 { return c.mass }
+
+// Norm2 returns the squared Euclidean norm of the count vector.
+func (c *Counts) Norm2() float64 { return c.norm2 }
+
+// Len returns the number of distinct tags with non-zero count.
+func (c *Counts) Len() int { return len(c.m) }
+
+// Get returns h(t, k): the number of accumulated posts containing t
+// (Definition 3; each post contains a tag at most once).
+func (c *Counts) Get(t tags.Tag) int64 { return c.m[t] }
+
+// RelFreq returns f(t, k) (Definition 4): the count of t divided by total
+// tag occurrences, or 0 when no posts have been received.
+func (c *Counts) RelFreq(t tags.Tag) float64 {
+	if c.mass == 0 {
+		return 0
+	}
+	return float64(c.m[t]) / float64(c.mass)
+}
+
+// Add accumulates one post: every tag in p has its count incremented by
+// one, and k advances by one. It returns the overlap sum S = Σ_{t∈p} h(t)
+// measured BEFORE the increment, which is exactly the quantity needed by
+// AdjacentCosine.
+func (c *Counts) Add(p tags.Post) (overlap int64) {
+	for _, t := range p {
+		old := c.m[t]
+		overlap += old
+		c.m[t] = old + 1
+		// norm² gains (old+1)² − old² = 2·old + 1.
+		c.norm2 += float64(2*old + 1)
+	}
+	c.mass += int64(len(p))
+	c.posts++
+	return overlap
+}
+
+// Remove subtracts one previously-added post. It is the exact inverse of
+// Add and panics if any tag of p has zero count (which would indicate the
+// post was never added). Used by rollback-style simulations and tests.
+func (c *Counts) Remove(p tags.Post) {
+	for _, t := range p {
+		old := c.m[t]
+		if old <= 0 {
+			panic(fmt.Sprintf("sparse: Remove of tag %d with count %d", t, old))
+		}
+		if old == 1 {
+			delete(c.m, t)
+		} else {
+			c.m[t] = old - 1
+		}
+		c.norm2 -= float64(2*old - 1)
+	}
+	c.mass -= int64(len(p))
+	c.posts--
+}
+
+// Clone returns an independent deep copy.
+func (c *Counts) Clone() *Counts {
+	out := &Counts{
+		m:     make(map[tags.Tag]int64, len(c.m)),
+		norm2: c.norm2,
+		mass:  c.mass,
+		posts: c.posts,
+	}
+	for t, n := range c.m {
+		out.m[t] = n
+	}
+	return out
+}
+
+// Support returns the non-zero tag ids in ascending order.
+func (c *Counts) Support() []tags.Tag {
+	out := make([]tags.Tag, 0, len(c.m))
+	for t := range c.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Dot returns the inner product of two count vectors, iterating over the
+// smaller support.
+func (c *Counts) Dot(o *Counts) float64 {
+	a, b := c, o
+	if len(b.m) < len(a.m) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, n := range a.m {
+		if m, ok := b.m[t]; ok {
+			dot += float64(n) * float64(m)
+		}
+	}
+	return dot
+}
+
+// Cosine returns s(F_a, F_b) per Equation 16: the cosine of the two rfd
+// vectors, which equals the cosine of the raw count vectors. If either
+// vector has received no posts (k = 0), the similarity is 0 by definition.
+func (c *Counts) Cosine(o *Counts) float64 {
+	if c.posts == 0 || o.posts == 0 {
+		return 0
+	}
+	if c.norm2 == 0 || o.norm2 == 0 {
+		return 0
+	}
+	s := c.Dot(o) / math.Sqrt(c.norm2*o.norm2)
+	// Guard against floating-point drift pushing us out of [0, 1]; counts
+	// are non-negative so the true cosine is never negative.
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// AdjacentCosine returns s(F(k−1), F(k)) — the adjacent similarity at the
+// k-th post (Definition 7) — in O(|post|) given the state BEFORE the post
+// is applied.
+//
+// Derivation: let h be the count vector before the post and h' = h + 1_p
+// after. Then
+//
+//	dot(h, h')   = ‖h‖² + S            where S = Σ_{t∈p} h(t)
+//	‖h'‖²        = ‖h‖² + 2S + |p|
+//	cos(h, h')   = (‖h‖² + S) / (‖h‖·√(‖h‖² + 2S + |p|))
+//
+// By Equation 16 the similarity is 0 when k−1 = 0 (the previous rfd is the
+// zero vector).
+func AdjacentCosine(norm2Before float64, overlap int64, postLen int) float64 {
+	if norm2Before == 0 {
+		return 0
+	}
+	num := norm2Before + float64(overlap)
+	den := math.Sqrt(norm2Before) * math.Sqrt(norm2Before+2*float64(overlap)+float64(postLen))
+	s := num / den
+	if s > 1 {
+		s = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// AddWithAdjacent accumulates post p and returns the adjacent similarity
+// s(F(k−1), F(k)) where k is the post count after the addition. This is
+// the hot path of the stability tracker.
+func (c *Counts) AddWithAdjacent(p tags.Post) float64 {
+	norm2Before := c.norm2
+	overlap := c.Add(p)
+	return AdjacentCosine(norm2Before, overlap, len(p))
+}
+
+// FromSeq builds counts by accumulating the first k posts of seq.
+// It panics if k exceeds len(seq).
+func FromSeq(seq tags.Seq, k int) *Counts {
+	c := NewCounts()
+	for i := 0; i < k; i++ {
+		c.Add(seq[i])
+	}
+	return c
+}
+
+// Dense materializes the rfd as a dense []float64 of the given dimension
+// (|T|). Entries outside the support are zero. Intended for tests, the
+// dense-vs-sparse ablation, and tiny worked examples; production paths stay
+// sparse.
+func (c *Counts) Dense(dim int) []float64 {
+	out := make([]float64, dim)
+	if c.mass == 0 {
+		return out
+	}
+	for t, n := range c.m {
+		if int(t) < dim {
+			out[t] = float64(n) / float64(c.mass)
+		}
+	}
+	return out
+}
+
+// DenseCosine computes Equation 16 directly on dense vectors. It exists to
+// cross-check the sparse implementation (and for the ablation benchmark);
+// both must agree to float tolerance.
+func DenseCosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+	}
+	for _, x := range a {
+		na += x * x
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incentivetag/internal/tags"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCountsBasics(t *testing.T) {
+	c := NewCounts()
+	if c.Posts() != 0 || c.Mass() != 0 || c.Norm2() != 0 || c.Len() != 0 {
+		t.Fatal("fresh counts not empty")
+	}
+	c.Add(tags.MustPost(1, 2))
+	c.Add(tags.MustPost(2, 3))
+	if c.Posts() != 2 {
+		t.Errorf("Posts = %d", c.Posts())
+	}
+	if c.Get(2) != 2 || c.Get(1) != 1 || c.Get(3) != 1 || c.Get(9) != 0 {
+		t.Errorf("counts wrong: %d %d %d", c.Get(1), c.Get(2), c.Get(3))
+	}
+	if c.Mass() != 4 {
+		t.Errorf("Mass = %d, want 4", c.Mass())
+	}
+	if !approxEq(c.RelFreq(2), 0.5, 1e-12) {
+		t.Errorf("RelFreq(2) = %g, want 0.5", c.RelFreq(2))
+	}
+	if !approxEq(c.Norm2(), 4+1+1, 1e-12) {
+		t.Errorf("Norm2 = %g, want 6", c.Norm2())
+	}
+	sup := c.Support()
+	if len(sup) != 3 || sup[0] != 1 || sup[2] != 3 {
+		t.Errorf("Support = %v", sup)
+	}
+}
+
+// Paper Definition 4: f(t,0) = 0.
+func TestRelFreqZeroPosts(t *testing.T) {
+	if got := NewCounts().RelFreq(1); got != 0 {
+		t.Errorf("RelFreq on empty = %g, want 0", got)
+	}
+}
+
+// Paper Equation 16: cosine is 0 when either side has no posts.
+func TestCosineZeroRule(t *testing.T) {
+	a, b := NewCounts(), NewCounts()
+	b.Add(tags.MustPost(1))
+	if got := a.Cosine(b); got != 0 {
+		t.Errorf("cos(empty, x) = %g, want 0", got)
+	}
+	if got := b.Cosine(a); got != 0 {
+		t.Errorf("cos(x, empty) = %g, want 0", got)
+	}
+}
+
+// Cosine of counts equals cosine of rfd's (scale invariance) — the
+// identity the whole sparse design rests on.
+func TestCosineMatchesDenseRFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a, b := NewCounts(), NewCounts()
+		dim := 20
+		for i := 0; i < 12; i++ {
+			a.Add(randPost(rng, dim))
+			if i%2 == 0 {
+				b.Add(randPost(rng, dim))
+			}
+		}
+		want := DenseCosine(a.Dense(dim), b.Dense(dim))
+		got := a.Cosine(b)
+		if !approxEq(got, want, 1e-9) {
+			t.Fatalf("trial %d: sparse %.12f vs dense %.12f", trial, got, want)
+		}
+	}
+}
+
+func randPost(rng *rand.Rand, dim int) tags.Post {
+	n := 1 + rng.Intn(4)
+	ts := make([]tags.Tag, n)
+	for i := range ts {
+		ts[i] = tags.Tag(rng.Intn(dim))
+	}
+	p, err := tags.NewPost(ts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AddWithAdjacent must equal the from-scratch cosine of consecutive
+// count vectors.
+func TestAdjacentCosineMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const dim = 15
+	c := NewCounts()
+	prev := NewCounts()
+	for k := 1; k <= 200; k++ {
+		p := randPost(rng, dim)
+		want := 0.0
+		{
+			next := prev.Clone()
+			next.Add(p)
+			want = prev.Cosine(next)
+		}
+		got := c.AddWithAdjacent(p)
+		if !approxEq(got, want, 1e-9) {
+			t.Fatalf("k=%d: incremental %.12f vs direct %.12f", k, got, want)
+		}
+		prev.Add(p)
+	}
+}
+
+// Add/Remove are exact inverses including norm bookkeeping.
+func TestAddRemoveInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewCounts()
+	var postsApplied []tags.Post
+	for i := 0; i < 50; i++ {
+		p := randPost(rng, 12)
+		c.Add(p)
+		postsApplied = append(postsApplied, p)
+	}
+	snapshot := c.Clone()
+	extra := randPost(rng, 12)
+	c.Add(extra)
+	c.Remove(extra)
+	if c.Posts() != snapshot.Posts() || c.Mass() != snapshot.Mass() {
+		t.Fatal("Add+Remove changed posts/mass")
+	}
+	if !approxEq(c.Norm2(), snapshot.Norm2(), 1e-9) {
+		t.Fatalf("Norm2 drifted: %g vs %g", c.Norm2(), snapshot.Norm2())
+	}
+	for _, tg := range snapshot.Support() {
+		if c.Get(tg) != snapshot.Get(tg) {
+			t.Fatalf("count of %d drifted", tg)
+		}
+	}
+	// Remove everything: back to empty.
+	for i := len(postsApplied) - 1; i >= 0; i-- {
+		c.Remove(postsApplied[i])
+	}
+	if c.Len() != 0 || c.Mass() != 0 || c.Posts() != 0 {
+		t.Error("full unwind did not reach empty state")
+	}
+}
+
+func TestRemovePanicsOnForeignPost(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Remove of never-added post did not panic")
+		}
+	}()
+	c := NewCounts()
+	c.Add(tags.MustPost(1))
+	c.Remove(tags.MustPost(2))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewCounts()
+	a.Add(tags.MustPost(1, 2))
+	b := a.Clone()
+	b.Add(tags.MustPost(3))
+	if a.Posts() != 1 || a.Get(3) != 0 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestFromSeq(t *testing.T) {
+	seq := tags.Seq{tags.MustPost(1), tags.MustPost(1, 2), tags.MustPost(2)}
+	c := FromSeq(seq, 2)
+	if c.Posts() != 2 || c.Get(1) != 2 || c.Get(2) != 1 {
+		t.Errorf("FromSeq state wrong: posts=%d", c.Posts())
+	}
+}
+
+// Properties via testing/quick: cosine is symmetric, bounded in [0,1],
+// and exactly 1 against itself for non-empty vectors; norm bookkeeping
+// matches a recomputation.
+func TestCosineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seedA, seedB int64, nA, nB uint8) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, b := NewCounts(), NewCounts()
+		for i := 0; i < int(nA%24)+1; i++ {
+			a.Add(randPost(ra, 10))
+		}
+		for i := 0; i < int(nB%24)+1; i++ {
+			b.Add(randPost(rb, 10))
+		}
+		sab, sba := a.Cosine(b), b.Cosine(a)
+		if !approxEq(sab, sba, 1e-12) {
+			return false
+		}
+		if sab < 0 || sab > 1 {
+			return false
+		}
+		if !approxEq(a.Cosine(a), 1, 1e-12) {
+			return false
+		}
+		// Norm2 bookkeeping equals recomputation.
+		var n2 float64
+		for _, tg := range a.Support() {
+			n2 += float64(a.Get(tg)) * float64(a.Get(tg))
+		}
+		return approxEq(n2, a.Norm2(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Table II / Example 2 of the paper: q1 = s(F1(3), φ̂1) ≈ 0.953.
+func TestPaperExample2GoogleEarth(t *testing.T) {
+	v := tags.NewVocab()
+	google, earth, geographic := v.Intern("google"), v.Intern("earth"), v.Intern("geographic")
+	cur := NewCounts()
+	cur.Add(tags.MustPost(google, earth))
+	cur.Add(tags.MustPost(google, geographic))
+	cur.Add(tags.MustPost(earth))
+	// F1(3) = (google 0.4, geographic 0.2, earth 0.4).
+	if !approxEq(cur.RelFreq(google), 0.4, 1e-12) ||
+		!approxEq(cur.RelFreq(geographic), 0.2, 1e-12) ||
+		!approxEq(cur.RelFreq(earth), 0.4, 1e-12) {
+		t.Fatalf("F1(3) wrong: %g %g %g",
+			cur.RelFreq(google), cur.RelFreq(geographic), cur.RelFreq(earth))
+	}
+	// φ̂1 = (0.25, 0.25, 0.5) — counts (1, 1, 2).
+	stable := NewCounts()
+	stable.Add(tags.MustPost(google))
+	stable.Add(tags.MustPost(geographic))
+	stable.Add(tags.MustPost(earth))
+	stable.Add(tags.MustPost(earth))
+	if got := cur.Cosine(stable); !approxEq(got, 0.953, 0.001) {
+		t.Errorf("q1(3) = %.4f, paper says 0.953", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package strategy implements the incentive allocation strategies of
+// Section IV: the framework of Algorithm 1 and the five concrete policies
+// FC (Free Choice), RR (Round Robin), FP (Fewest Posts First), MU (Most
+// Unstable First) and FP-MU (the hybrid). Strategies are online: they see
+// only the posts received so far, never the future of the replay, and
+// never a resource's true stable rfd.
+//
+// Complexities follow Table V: with n resources, budget B, window ω and
+// tag universe T —
+//
+//	FC, RR:  O(n + B) time, O(n) space
+//	FP:      O((n + B) log n) time, O(n) space
+//	MU:      O((n + B) log n + (nω + B)|T|) time, O(nω + n|T|) space
+//	FP-MU:   as MU
+//
+// (our MU implementation improves the |T| factors to the sparse post
+// support via the incremental recurrence of Appendix C.4).
+package strategy
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Env is what Algorithm 1 exposes to a strategy: the observable state of
+// the tagging system. Counts and MA scores reflect all posts received so
+// far (initial posts plus completed post tasks). An Env implementation is
+// provided by the simulator (internal/sim) and by the public facade.
+type Env interface {
+	// N is the number of resources.
+	N() int
+	// Count returns c[i] + x[i], the posts resource i has received.
+	Count(i int) int
+	// MA returns the current MA score m_i(c_i+x_i, ω); ok is false while
+	// the resource has fewer than ω posts (Definition 7).
+	MA(i int) (float64, bool)
+	// Available reports whether a post task on resource i can still be
+	// completed (the replay has future posts left for it).
+	Available(i int) bool
+	// Cost returns the reward units one post task on i consumes (1 unless
+	// the variable-cost extension is active).
+	Cost(i int) int
+	// Rand returns the deterministic RNG stream for stochastic choices.
+	Rand() *rand.Rand
+}
+
+// Strategy is one incentive allocation policy, the CHOOSE/UPDATE pair of
+// Algorithm 1. Implementations are single-goroutine state machines driven
+// by a Runner.
+type Strategy interface {
+	// Name returns the paper's label for the strategy (FC, RR, ...).
+	Name() string
+	// Init is called once before the budget loop with the environment.
+	Init(env Env)
+	// Choose returns the resource to present to the next tagger. The
+	// returned resource must be Available and affordable within remaining
+	// budget; ok=false means the strategy has nothing to allocate (all
+	// candidates exhausted or unaffordable).
+	Choose(remaining int) (i int, ok bool)
+	// Update is invoked after the post task on resource i completes, so
+	// the strategy can refresh its bookkeeping (Algorithm 1's UPDATE()).
+	Update(i int)
+}
+
+// item is a priority-queue entry with lazy invalidation: version tracks
+// whether the entry is stale relative to the strategy's per-resource
+// version counters.
+type item struct {
+	key     float64
+	id      int
+	version uint32
+}
+
+// minHeap is a binary min-heap over items ordered by key then id (the id
+// tiebreak keeps runs deterministic).
+type minHeap []item
+
+func (h minHeap) Len() int { return len(h) }
+func (h minHeap) Less(a, b int) bool {
+	if h[a].key != h[b].key {
+		return h[a].key < h[b].key
+	}
+	return h[a].id < h[b].id
+}
+func (h minHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// lazyPQ is a priority queue with decrease/increase-key by lazy deletion:
+// each push records the resource's current version; pops discard entries
+// whose version is stale. This is the "priority queue" of Algorithms 3–4
+// adapted to keys that change on every update.
+type lazyPQ struct {
+	h       minHeap
+	version []uint32
+}
+
+func newLazyPQ(n int) *lazyPQ {
+	return &lazyPQ{version: make([]uint32, n)}
+}
+
+func (q *lazyPQ) push(id int, key float64) {
+	q.version[id]++
+	heap.Push(&q.h, item{key: key, id: id, version: q.version[id]})
+}
+
+// pop returns the smallest-key fresh entry, discarding stale ones.
+func (q *lazyPQ) pop() (int, bool) {
+	for q.h.Len() > 0 {
+		it := heap.Pop(&q.h).(item)
+		if it.version == q.version[it.id] {
+			return it.id, true
+		}
+	}
+	return -1, false
+}
+
+// invalidate drops any queued entry for id without pushing a replacement,
+// permanently removing the resource until a future push.
+func (q *lazyPQ) invalidate(id int) { q.version[id]++ }
+
+func (q *lazyPQ) empty() bool { return q.h.Len() == 0 }
+
+// validateEnv panics early on a nil environment; all strategies share it.
+func validateEnv(env Env) {
+	if env == nil {
+		panic("strategy: Init with nil Env")
+	}
+	if env.N() < 0 {
+		panic(fmt.Sprintf("strategy: negative resource count %d", env.N()))
+	}
+}

@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"testing"
+)
+
+// TestCalibrationBands checks that the default generator reproduces the
+// paper's dataset statistics (§I, §V-A) within loose bands:
+//
+//   - stable points mostly in 50–250 posts,
+//   - roughly a fifth to a third of resources under-tagged at the cut,
+//   - a small (≲15%) popular minority already over-tagged,
+//   - roughly 35–60% of the year's posts wasted past stable points,
+//   - January holding roughly 15–40% of all posts.
+//
+// These bands are intentionally wide: the assertion is about shape, not
+// about chasing exact constants from someone else's crawl.
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration census is slow in -short mode")
+	}
+	ds, err := Generate(DefaultConfig(400, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	t.Logf("resources=%d totalPosts=%d januaryShare=%.3f meanPosts=%.1f meanInitial=%.1f",
+		st.NResources, st.TotalPosts, st.JanuaryShare, st.MeanPosts, st.MeanInitial)
+	t.Logf("stablePoints: min=%.0f p25=%.0f median=%.0f mean=%.1f p75=%.0f max=%.0f",
+		st.StablePoints.Min, st.StablePoints.P25, st.StablePoints.Median,
+		st.StablePoints.Mean, st.StablePoints.P75, st.StablePoints.Max)
+	t.Logf("underTagged=%d (%.1f%%) overTagged=%d (%.1f%%) wastedShare=%.3f",
+		st.UnderTagged, 100*float64(st.UnderTagged)/float64(st.NResources),
+		st.OverTagged, 100*float64(st.OverTagged)/float64(st.NResources),
+		st.WastedShare)
+	for _, b := range st.PostsHistogram {
+		t.Logf("posts in [%d,%d): %d resources", b.Lo, b.Hi, b.Count)
+	}
+
+	if st.StablePoints.Mean < 40 || st.StablePoints.Mean > 300 {
+		t.Errorf("mean stable point %.1f outside [40,300] (paper: 112)", st.StablePoints.Mean)
+	}
+	underPct := float64(st.UnderTagged) / float64(st.NResources)
+	if underPct < 0.10 || underPct > 0.45 {
+		t.Errorf("under-tagged fraction %.2f outside [0.10,0.45] (paper: ~0.25)", underPct)
+	}
+	overPct := float64(st.OverTagged) / float64(st.NResources)
+	if overPct < 0.01 || overPct > 0.20 {
+		t.Errorf("over-tagged fraction %.2f outside [0.01,0.20] (paper: ~0.07)", overPct)
+	}
+	if st.WastedShare < 0.30 || st.WastedShare > 0.65 {
+		t.Errorf("wasted share %.2f outside [0.30,0.65] (paper: ~0.48)", st.WastedShare)
+	}
+	if st.JanuaryShare < 0.12 || st.JanuaryShare > 0.45 {
+		t.Errorf("january share %.2f outside [0.12,0.45] (paper: ~0.26)", st.JanuaryShare)
+	}
+}

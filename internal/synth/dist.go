@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"incentivetag/internal/tags"
+)
+
+// weightedTags is a discrete distribution over tag ids, sampled by binary
+// search over the cumulative weight array.
+type weightedTags struct {
+	tags []tags.Tag
+	cum  []float64 // strictly increasing; cum[len-1] == total mass
+}
+
+// newWeightedTags builds a distribution from parallel tag/weight slices.
+// Zero or negative weights are dropped.
+func newWeightedTags(ts []tags.Tag, ws []float64) weightedTags {
+	d := weightedTags{}
+	var total float64
+	for i, t := range ts {
+		if ws[i] <= 0 {
+			continue
+		}
+		total += ws[i]
+		d.tags = append(d.tags, t)
+		d.cum = append(d.cum, total)
+	}
+	return d
+}
+
+// empty reports whether the distribution has no support.
+func (d weightedTags) empty() bool { return len(d.tags) == 0 }
+
+// sample draws one tag.
+func (d weightedTags) sample(r *rand.Rand) tags.Tag {
+	if len(d.tags) == 0 {
+		panic("synth: sampling from empty distribution")
+	}
+	total := d.cum[len(d.cum)-1]
+	x := r.Float64() * total
+	i := sort.SearchFloat64s(d.cum, x)
+	if i >= len(d.tags) {
+		i = len(d.tags) - 1
+	}
+	return d.tags[i]
+}
+
+// mergeWeighted concatenates distributions, rescaling each part to the
+// given total mass.
+func mergeWeighted(parts []weightedTags, masses []float64) weightedTags {
+	var out weightedTags
+	var total float64
+	for pi, p := range parts {
+		if len(p.tags) == 0 || masses[pi] <= 0 {
+			continue
+		}
+		partTotal := p.cum[len(p.cum)-1]
+		scale := masses[pi] / partTotal
+		prev := 0.0
+		for i, t := range p.tags {
+			w := (p.cum[i] - prev) * scale
+			prev = p.cum[i]
+			total += w
+			out.tags = append(out.tags, t)
+			out.cum = append(out.cum, total)
+		}
+	}
+	return out
+}
+
+// zipfWeights returns k weights w_j ∝ 1/(j+1)^s.
+func zipfWeights(k int, s float64) []float64 {
+	ws := make([]float64, k)
+	for j := 0; j < k; j++ {
+		ws[j] = 1.0 / math.Pow(float64(j+1), s)
+	}
+	return ws
+}
+
+// pickK selects k distinct indices from [0, n) using a partial
+// Fisher-Yates shuffle driven by r.
+func pickK(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// subDistribution builds a weighted distribution over k tags picked from
+// pool, with Zipf(s) weights in pick order.
+func subDistribution(r *rand.Rand, pool []tags.Tag, k int, s float64) weightedTags {
+	picked := pickK(r, len(pool), k)
+	ts := make([]tags.Tag, len(picked))
+	for i, p := range picked {
+		ts[i] = pool[p]
+	}
+	return newWeightedTags(ts, zipfWeights(len(ts), s))
+}
+
+// splitmix64 is a tiny deterministic seed mixer so that per-resource RNG
+// streams are independent of generation order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// resourceRNG returns a deterministic RNG for resource id under seed.
+func resourceRNG(seed int64, id int) *rand.Rand {
+	h := splitmix64(uint64(seed)) ^ splitmix64(uint64(id)*0x9e3779b97f4a7c15+0x1234567)
+	return rand.New(rand.NewSource(int64(h)))
+}

@@ -1,0 +1,37 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FullCrawlLengths simulates the posts-per-resource distribution of a
+// complete social-bookmarking crawl — Figure 1(b)'s population, not the
+// curated stable subset. The real 2007 crawl has ~10M URLs tagged exactly
+// once with a power-law tail reaching past 10,000 posts; a discrete Pareto
+// with exponent alpha ≈ 2 on counts reproduces that log-log shape.
+//
+// Only lengths are generated (the figure needs nothing else), so very
+// large populations stay cheap.
+func FullCrawlLengths(n int, seed int64, alpha float64, cap int) []int {
+	if alpha <= 1 {
+		alpha = 2
+	}
+	if cap <= 0 {
+		cap = 20000
+	}
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ 0xc0ffee))))
+	out := make([]int, n)
+	for i := range out {
+		// P(L ≥ x) = x^−(alpha−1) for x ≥ 1 → L = floor(u^(−1/(alpha−1))).
+		l := int(math.Floor(math.Pow(1-rng.Float64(), -1.0/(alpha-1))))
+		if l < 1 {
+			l = 1
+		}
+		if l > cap {
+			l = cap
+		}
+		out[i] = l
+	}
+	return out
+}

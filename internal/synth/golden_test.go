@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// fingerprint hashes every post of every resource plus the metadata that
+// experiments depend on.
+func fingerprint(ds *Dataset) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := range ds.Resources {
+		r := &ds.Resources[i]
+		put(uint64(r.Initial))
+		put(uint64(r.StableK))
+		put(uint64(r.Leaf))
+		for _, p := range r.Seq {
+			for _, t := range p {
+				put(uint64(t))
+			}
+			put(^uint64(0)) // post separator
+		}
+	}
+	return h.Sum32()
+}
+
+// TestGoldenFingerprint pins the exact byte-level output of the default
+// generator for a fixed seed. Any change to the generative model shifts
+// every number in EXPERIMENTS.md, so it must be deliberate: update the
+// constant AND regenerate EXPERIMENTS.md together.
+func TestGoldenFingerprint(t *testing.T) {
+	ds, err := Generate(DefaultConfig(50, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprint(ds)
+	const want = 0x6cfdaab9
+	if got != want {
+		t.Errorf("generator output changed: fingerprint 0x%08x, golden 0x%08x — "+
+			"if intentional, update the golden value and regenerate EXPERIMENTS.md", got, want)
+	}
+}

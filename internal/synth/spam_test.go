@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// Spam injection is off by default and, when enabled at a realistic rate,
+// shifts stable points later without breaking stabilization — the
+// robustness property that makes the stability metric usable on spammy
+// crawls (the paper's [11] citation).
+func TestSpamInjection(t *testing.T) {
+	clean, err := Generate(smallConfig(30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(30, 3)
+	cfg.SpamRate = 0.05
+	spammy, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spamSet := map[string]bool{
+		"buy-now": true, "cheap": true, "discount": true, "free-money": true,
+		"casino": true, "winner": true, "click-here": true, "best-price": true,
+		"pills": true, "limited-offer": true, "earn-fast": true, "promo": true,
+	}
+	spamTags := func(ds *Dataset) int {
+		count := 0
+		for i := range ds.Resources {
+			for _, p := range ds.Resources[i].Seq {
+				for _, tg := range p {
+					name := ds.Vocab.Name(tg)
+					if spamSet[name] || strings.HasPrefix(name, "spam-") {
+						count++
+					}
+				}
+			}
+		}
+		return count
+	}
+	if n := spamTags(clean); n != 0 {
+		t.Errorf("default corpus contains %d spam tag occurrences", n)
+	}
+	n := spamTags(spammy)
+	if n == 0 {
+		t.Fatal("SpamRate=0.05 produced no spam")
+	}
+
+	// Every spammy resource still stabilizes (Generate enforces it) and
+	// spam occupies a visible but minority share of the stream.
+	total := 0
+	for i := range spammy.Resources {
+		total += spammy.Resources[i].Seq.TotalTags()
+		if spammy.Resources[i].StableK <= 0 {
+			t.Fatalf("resource %d did not stabilize under spam", i)
+		}
+	}
+	share := float64(n) / float64(total)
+	if share < 0.01 || share > 0.15 {
+		t.Errorf("spam share %.3f outside the expected band", share)
+	}
+
+	// Spam delays stabilization on average: the mean stable point must
+	// not drop.
+	meanK := func(ds *Dataset) float64 {
+		s := 0
+		for i := range ds.Resources {
+			s += ds.Resources[i].StableK
+		}
+		return float64(s) / float64(ds.N())
+	}
+	if meanK(spammy) < meanK(clean)*0.95 {
+		t.Errorf("spam lowered mean stable point: %.1f vs %.1f", meanK(spammy), meanK(clean))
+	}
+}

@@ -1,0 +1,97 @@
+package tagstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incentivetag/internal/tags"
+)
+
+func TestScrubClean(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 512})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 120; i++ {
+		if err := s.Append(uint32(i%7), randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean store reported dirty: %+v", rep)
+	}
+	if rep.Records != 120 || rep.Segments < 2 {
+		t.Errorf("report %+v", rep)
+	}
+	s.Close()
+}
+
+func TestScrubDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		if err := s.Append(3, randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte mid-file BEHIND the store's back.
+	seg := filepath.Join(dir, "seg-000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("scrub missed mid-file corruption")
+	}
+	if rep.BadSegment != "seg-000001.log" || rep.FirstProblem == "" {
+		t.Errorf("report %+v", rep)
+	}
+	if !rep.IndexMismatch {
+		t.Error("record count mismatch not flagged")
+	}
+	s.Close()
+}
+
+func TestAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	batch := []tags.Post{tags.MustPost(1, 2), tags.MustPost(3), tags.MustPost(2, 4)}
+	if err := s.AppendBatch(9, batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Posts(9)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("batch readback: %v %v", got, err)
+	}
+	for i := range batch {
+		if !got[i].Equal(batch[i]) {
+			t.Fatalf("batch item %d differs", i)
+		}
+	}
+	// Batch with an invalid item stops at the offender.
+	err = s.AppendBatch(10, []tags.Post{tags.MustPost(1), {}})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if s.Count(10) != 1 {
+		t.Errorf("prefix of failed batch lost: count=%d", s.Count(10))
+	}
+}

@@ -1,0 +1,564 @@
+// Package tagstore is an embedded, append-only post store: the storage
+// substrate a production incentive-tagging service would persist its
+// tagging stream into (the paper's "system prototype" future-work item).
+//
+// Layout: a directory of segment files seg-NNNNNN.log, each a sequence of
+// CRC-framed records. One record is one post:
+//
+//	[u32 payloadLen][payload][u32 crc32(payload)]
+//	payload = uvarint resourceID, uvarint nTags,
+//	          nTags delta-encoded uvarint tag ids (posts are sorted)
+//
+// Properties:
+//
+//   - appends go to the active (last) segment through a buffered writer;
+//     Flush makes them durable (optionally fsync);
+//   - opening a store scans all segments, rebuilding an in-memory index of
+//     (segment, offset, length) per resource for random access;
+//   - a torn write at the tail of the last segment (crash mid-append) is
+//     detected by length/CRC validation and truncated away — recovery is
+//     automatic and lossless up to the last complete record;
+//   - Compact rewrites the log grouped by resource id for locality and
+//     atomically swaps segment files.
+package tagstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"incentivetag/internal/tags"
+)
+
+const (
+	segPrefix      = "seg-"
+	segSuffix      = ".log"
+	maxRecordBytes = 1 << 20 // sanity bound on a single record
+)
+
+// Options configure a Store.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment when it grows past this
+	// size. Zero means 4 MiB.
+	MaxSegmentBytes int64
+	// SyncOnFlush issues fsync on Flush for durability against OS crashes
+	// (not just process crashes).
+	SyncOnFlush bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// recordRef locates one record.
+type recordRef struct {
+	seg int32
+	off int64 // offset of the frame start
+	n   int32 // payload length
+}
+
+// Store is an open post store. It is not safe for concurrent use; wrap it
+// with external synchronization if shared (matching typical embedded-log
+// designs where a single writer owns the log).
+type Store struct {
+	dir  string
+	opts Options
+
+	segs    []string   // segment file names in order
+	files   []*os.File // read handles per segment
+	active  *os.File   // write handle on last segment
+	w       *bufio.Writer
+	written int64 // current size of active segment
+
+	index   map[uint32][]recordRef
+	records int64
+	order   []uint32 // resource ids in first-seen order
+}
+
+// Open opens (or creates) a store directory, scanning existing segments
+// and recovering from torn tails.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tagstore: mkdir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, index: make(map[uint32][]recordRef)}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		names = []string{segName(1)}
+		f, err := os.OpenFile(filepath.Join(dir, names[0]), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("tagstore: create segment: %w", err)
+		}
+		f.Close()
+	}
+	s.segs = names
+	for si, name := range names {
+		path := filepath.Join(dir, name)
+		if err := s.scanSegment(si, path, si == len(names)-1); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	// Open read handles and the active writer.
+	for _, name := range s.segs {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("tagstore: open segment: %w", err)
+		}
+		s.files = append(s.files, f)
+	}
+	last := filepath.Join(dir, s.segs[len(s.segs)-1])
+	af, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("tagstore: open active segment: %w", err)
+	}
+	st, err := af.Stat()
+	if err != nil {
+		af.Close()
+		s.Close()
+		return nil, fmt.Errorf("tagstore: stat active segment: %w", err)
+	}
+	s.active = af
+	s.written = st.Size()
+	s.w = bufio.NewWriterSize(af, 1<<16)
+	return s, nil
+}
+
+func segName(i int) string { return fmt.Sprintf("%s%06d%s", segPrefix, i, segSuffix) }
+
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tagstore: readdir: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment indexes one segment. For the last segment, a torn or
+// corrupt tail is truncated; anywhere else it is a hard error.
+func (s *Store) scanSegment(si int, path string, isLast bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tagstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	var hdr [4]byte
+	payload := make([]byte, 0, 512)
+	for {
+		_, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return s.handleTail(path, off, isLast, fmt.Errorf("short header: %w", err))
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxRecordBytes {
+			return s.handleTail(path, off, isLast, fmt.Errorf("implausible record length %d", n))
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return s.handleTail(path, off, isLast, fmt.Errorf("short payload: %w", err))
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return s.handleTail(path, off, isLast, fmt.Errorf("short crc: %w", err))
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return s.handleTail(path, off, isLast, fmt.Errorf("crc mismatch"))
+		}
+		rid, _, err := decodePost(payload)
+		if err != nil {
+			return s.handleTail(path, off, isLast, err)
+		}
+		if _, seen := s.index[rid]; !seen {
+			s.order = append(s.order, rid)
+		}
+		s.index[rid] = append(s.index[rid], recordRef{seg: int32(si), off: off, n: int32(n)})
+		s.records++
+		off += int64(4 + len(payload) + 4)
+	}
+}
+
+// handleTail truncates a damaged tail on the last segment, or fails.
+func (s *Store) handleTail(path string, goodOff int64, isLast bool, cause error) error {
+	if !isLast {
+		return fmt.Errorf("tagstore: segment %s corrupt at offset %d: %v", path, goodOff, cause)
+	}
+	if err := os.Truncate(path, goodOff); err != nil {
+		return fmt.Errorf("tagstore: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// encodePost renders the payload for (rid, p) into buf.
+func encodePost(buf []byte, rid uint32, p tags.Post) []byte {
+	buf = binary.AppendUvarint(buf, uint64(rid))
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	prev := uint64(0)
+	for i, t := range p {
+		v := uint64(t)
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, v)
+		} else {
+			buf = binary.AppendUvarint(buf, v-prev) // posts are sorted ascending
+		}
+		prev = v
+	}
+	return buf
+}
+
+// decodePost parses a payload.
+func decodePost(payload []byte) (uint32, tags.Post, error) {
+	rid, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("tagstore: bad resource id varint")
+	}
+	rest := payload[k:]
+	n, k2 := binary.Uvarint(rest)
+	if k2 <= 0 || n == 0 || n > 1<<16 {
+		return 0, nil, fmt.Errorf("tagstore: bad tag count")
+	}
+	rest = rest[k2:]
+	post := make(tags.Post, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, kk := binary.Uvarint(rest)
+		if kk <= 0 {
+			return 0, nil, fmt.Errorf("tagstore: bad tag delta")
+		}
+		rest = rest[kk:]
+		var v uint64
+		if i == 0 {
+			v = d
+		} else {
+			v = prev + d
+		}
+		prev = v
+		post = append(post, tags.Tag(v))
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("tagstore: %d trailing payload bytes", len(rest))
+	}
+	return uint32(rid), post, nil
+}
+
+// Append writes one post for resource rid. The data is buffered; call
+// Flush (or Close) to make it durable.
+func (s *Store) Append(rid uint32, p tags.Post) error {
+	if len(p) == 0 {
+		return fmt.Errorf("tagstore: empty post")
+	}
+	payload := encodePost(make([]byte, 0, 16+4*len(p)), rid, p)
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("tagstore: record too large (%d bytes)", len(payload))
+	}
+	if s.written >= s.opts.MaxSegmentBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tagstore: append: %w", err)
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return fmt.Errorf("tagstore: append: %w", err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := s.w.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("tagstore: append: %w", err)
+	}
+	si := int32(len(s.segs) - 1)
+	if _, seen := s.index[rid]; !seen {
+		s.order = append(s.order, rid)
+	}
+	s.index[rid] = append(s.index[rid], recordRef{seg: si, off: s.written, n: int32(len(payload))})
+	s.records++
+	s.written += int64(4 + len(payload) + 4)
+	return nil
+}
+
+// rotate seals the active segment and starts a new one.
+func (s *Store) rotate() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("tagstore: close active: %w", err)
+	}
+	name := segName(len(s.segs) + 1)
+	path := filepath.Join(s.dir, name)
+	af, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("tagstore: rotate: %w", err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		af.Close()
+		return fmt.Errorf("tagstore: rotate read handle: %w", err)
+	}
+	s.segs = append(s.segs, name)
+	s.files = append(s.files, rf)
+	s.active = af
+	s.w = bufio.NewWriterSize(af, 1<<16)
+	s.written = 0
+	return nil
+}
+
+// Flush drains the write buffer (and fsyncs when configured).
+func (s *Store) Flush() error {
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("tagstore: flush: %w", err)
+	}
+	if s.opts.SyncOnFlush {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("tagstore: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases all file handles.
+func (s *Store) Close() error {
+	var first error
+	if s.w != nil {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.active != nil {
+		if err := s.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.active = nil
+	}
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	s.w = nil
+	return first
+}
+
+// Count returns the number of stored posts for rid.
+func (s *Store) Count(rid uint32) int { return len(s.index[rid]) }
+
+// Records returns the total number of stored posts.
+func (s *Store) Records() int64 { return s.records }
+
+// Resources returns all resource ids in first-seen order.
+func (s *Store) Resources() []uint32 {
+	out := make([]uint32, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// readRecord fetches and decodes one record.
+func (s *Store) readRecord(ref recordRef) (uint32, tags.Post, error) {
+	if err := s.Flush(); err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, ref.n)
+	if _, err := s.files[ref.seg].ReadAt(buf, ref.off+4); err != nil {
+		return 0, nil, fmt.Errorf("tagstore: read record: %w", err)
+	}
+	return decodePost(buf)
+}
+
+// Posts returns rid's posts in append order.
+func (s *Store) Posts(rid uint32) (tags.Seq, error) {
+	refs := s.index[rid]
+	out := make(tags.Seq, 0, len(refs))
+	for _, ref := range refs {
+		id, p, err := s.readRecord(ref)
+		if err != nil {
+			return nil, err
+		}
+		if id != rid {
+			return nil, fmt.Errorf("tagstore: index corruption: wanted rid %d, found %d", rid, id)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Scan iterates every record in global append order. The callback may
+// return an error to stop early.
+func (s *Store) Scan(fn func(rid uint32, p tags.Post) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	for si := range s.segs {
+		path := filepath.Join(s.dir, s.segs[si])
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("tagstore: scan open: %w", err)
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		err = scanRecords(br, func(rid uint32, p tags.Post) error { return fn(rid, p) })
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanRecords decodes frames until EOF; malformed data is an error here
+// (recovery happens only at Open).
+func scanRecords(br *bufio.Reader, fn func(uint32, tags.Post) error) error {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("tagstore: scan header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxRecordBytes {
+			return fmt.Errorf("tagstore: scan: implausible record length %d", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return fmt.Errorf("tagstore: scan payload: %w", err)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return fmt.Errorf("tagstore: scan crc: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return fmt.Errorf("tagstore: scan: crc mismatch")
+		}
+		rid, p, err := decodePost(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rid, p); err != nil {
+			return err
+		}
+	}
+}
+
+// Compact rewrites the store grouped by resource id (ascending, posts in
+// append order within a resource) and atomically replaces the segments.
+// Compaction improves the locality of Posts() after a workload of
+// interleaved appends.
+func (s *Store) Compact() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	tmp := s.dir + ".compact"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("tagstore: compact cleanup: %w", err)
+	}
+	out, err := Open(tmp, s.opts)
+	if err != nil {
+		return fmt.Errorf("tagstore: compact open: %w", err)
+	}
+	rids := make([]uint32, len(s.order))
+	copy(rids, s.order)
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	for _, rid := range rids {
+		seq, err := s.Posts(rid)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		for _, p := range seq {
+			if err := out.Append(rid, p); err != nil {
+				out.Close()
+				return err
+			}
+		}
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	// Swap: close self, move new segments in, reopen.
+	if err := s.Close(); err != nil {
+		return err
+	}
+	old := s.dir + ".old"
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("tagstore: compact swap: %w", err)
+	}
+	if err := os.Rename(s.dir, old); err != nil {
+		return fmt.Errorf("tagstore: compact swap: %w", err)
+	}
+	if err := os.Rename(tmp, s.dir); err != nil {
+		return fmt.Errorf("tagstore: compact swap: %w", err)
+	}
+	if err := os.RemoveAll(old); err != nil {
+		return fmt.Errorf("tagstore: compact cleanup: %w", err)
+	}
+	reopened, err := Open(s.dir, s.opts)
+	if err != nil {
+		return fmt.Errorf("tagstore: compact reopen: %w", err)
+	}
+	*s = *reopened
+	return nil
+}
+
+// Stats summarizes the store.
+type Stats struct {
+	Segments  int
+	Records   int64
+	Resources int
+	Bytes     int64
+}
+
+// Stat computes store statistics from the filesystem.
+func (s *Store) Stat() (Stats, error) {
+	st := Stats{Segments: len(s.segs), Records: s.records, Resources: len(s.order)}
+	for _, name := range s.segs {
+		fi, err := os.Stat(filepath.Join(s.dir, name))
+		if err != nil {
+			return st, fmt.Errorf("tagstore: stat: %w", err)
+		}
+		st.Bytes += fi.Size()
+	}
+	// Unflushed buffer bytes count too.
+	if s.w != nil {
+		st.Bytes += int64(s.w.Buffered())
+	}
+	return st, nil
+}

@@ -1,0 +1,378 @@
+package tagstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incentivetag/internal/tags"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randPost(rng *rand.Rand) tags.Post {
+	n := 1 + rng.Intn(5)
+	ts := make([]tags.Tag, n)
+	for i := range ts {
+		ts[i] = tags.Tag(rng.Intn(5000))
+	}
+	p, err := tags.NewPost(ts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	want := map[uint32]tags.Seq{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		rid := uint32(rng.Intn(20))
+		p := randPost(rng)
+		if err := s.Append(rid, p); err != nil {
+			t.Fatal(err)
+		}
+		want[rid] = append(want[rid], p)
+	}
+	for rid, seq := range want {
+		got, err := s.Posts(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("rid %d: %d posts, want %d", rid, len(got), len(seq))
+		}
+		for k := range seq {
+			if !got[k].Equal(seq[k]) {
+				t.Fatalf("rid %d post %d: %v != %v", rid, k, got[k], seq[k])
+			}
+		}
+		if s.Count(rid) != len(seq) {
+			t.Fatalf("Count(%d) = %d", rid, s.Count(rid))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(2))
+	var posts tags.Seq
+	for i := 0; i < 100; i++ {
+		p := randPost(rng)
+		posts = append(posts, p)
+		if err := s.Append(7, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	defer s2.Close()
+	got, err := s2.Posts(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("reopened store has %d posts, want 100", len(got))
+	}
+	for k := range posts {
+		if !got[k].Equal(posts[k]) {
+			t.Fatalf("post %d differs after reopen", k)
+		}
+	}
+	if s2.Records() != 100 {
+		t.Errorf("Records = %d", s2.Records())
+	}
+	// Appending after reopen continues the log.
+	if err := s2.Append(7, posts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count(7) != 101 {
+		t.Errorf("Count after append = %d", s2.Count(7))
+	}
+}
+
+// Every torn-tail length from 1 byte to a full record must recover to
+// exactly the complete-record prefix.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if err := s.Append(uint32(i%5), randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-000001.log")
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries of the intact log, to compute exact expectations.
+	var ends []int
+	for off := 0; off+8 <= len(full); {
+		n := int(uint32(full[off]) | uint32(full[off+1])<<8 | uint32(full[off+2])<<16 | uint32(full[off+3])<<24)
+		off += 4 + n + 4
+		ends = append(ends, off)
+	}
+
+	for cut := 1; cut <= 24; cut += 3 {
+		if err := os.WriteFile(seg, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		recs := s2.Records()
+		// Exactly the records whose frames fit in the truncated file
+		// must survive.
+		want := int64(0)
+		for _, e := range ends {
+			if e <= len(full)-cut {
+				want++
+			}
+		}
+		if recs != want {
+			t.Fatalf("cut %d: %d records, want %d", cut, recs, want)
+		}
+		// All surviving records decode.
+		n := 0
+		if err := s2.Scan(func(rid uint32, p tags.Post) error { n++; return nil }); err != nil {
+			t.Fatalf("cut %d: scan: %v", cut, err)
+		}
+		if int64(n) != recs {
+			t.Fatalf("cut %d: scan saw %d, index says %d", cut, n, recs)
+		}
+		s2.Close()
+		// Restore for the next iteration.
+		if err := os.WriteFile(seg, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Flipping a byte inside the tail record is caught by CRC and truncated.
+func TestCorruptTailCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		if err := s.Append(1, randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	seg := filepath.Join(dir, "seg-000001.log")
+	data, _ := os.ReadFile(seg)
+	data[len(data)-6] ^= 0xff // corrupt inside the last record's payload/crc
+	os.WriteFile(seg, data, 0o644)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	if s2.Records() != 9 {
+		t.Errorf("Records = %d, want 9 (corrupt tail dropped)", s2.Records())
+	}
+}
+
+// Corruption in a non-final segment is a hard error, not silent loss.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 256})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		if err := s.Append(uint32(i%3), randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	first := filepath.Join(dir, segs[0])
+	data, _ := os.ReadFile(first)
+	data[10] ^= 0xff
+	os.WriteFile(first, data, 0o644)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Error("corrupt middle segment opened without error")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 128})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		if err := s.Append(uint32(i), randPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Errorf("no rotation happened: %d segments", st.Segments)
+	}
+	if st.Records != 100 || st.Resources != 100 {
+		t.Errorf("Stat = %+v", st)
+	}
+	// Everything still readable across segments.
+	for i := 0; i < 100; i++ {
+		seq, err := s.Posts(uint32(i))
+		if err != nil || len(seq) != 1 {
+			t.Fatalf("rid %d unreadable after rotation: %v", i, err)
+		}
+	}
+	s.Close()
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 256})
+	rng := rand.New(rand.NewSource(7))
+	want := map[uint32]tags.Seq{}
+	for i := 0; i < 300; i++ {
+		rid := uint32(rng.Intn(10))
+		p := randPost(rng)
+		want[rid] = append(want[rid], p)
+		if err := s.Append(rid, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// After compaction records are grouped by rid in ascending order.
+	var order []uint32
+	if err := s.Scan(func(rid uint32, p tags.Post) error {
+		order = append(order, rid)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatal("compacted store not grouped by resource id")
+		}
+	}
+	// Content preserved, per-resource order intact.
+	for rid, seq := range want {
+		got, err := s.Posts(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("rid %d: %d posts after compact, want %d", rid, len(got), len(seq))
+		}
+		for k := range seq {
+			if !got[k].Equal(seq[k]) {
+				t.Fatalf("rid %d post %d differs after compact", rid, k)
+			}
+		}
+	}
+	// Store still appendable after compaction.
+	if err := s.Append(99, randPost(rng)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	if err := s.Append(1, tags.Post{}); err == nil {
+		t.Error("empty post accepted")
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	posts := []tags.Post{tags.MustPost(1), tags.MustPost(2), tags.MustPost(3)}
+	for i, p := range posts {
+		if err := s.Append(uint32(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []tags.Tag
+	if err := s.Scan(func(rid uint32, p tags.Post) error {
+		seen = append(seen, p[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tg := range seen {
+		if tg != tags.Tag(i+1) {
+			t.Fatalf("scan order wrong: %v", seen)
+		}
+	}
+	s.Close()
+}
+
+func TestSyncOnFlush(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SyncOnFlush: true})
+	if err := s.Append(1, tags.MustPost(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}
+
+func TestDeltaEncodingLargeTagIDs(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	p := tags.MustPost(0, 1<<20, 1<<28)
+	if err := s.Append(3, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Posts(3)
+	if err != nil || len(got) != 1 || !got[0].Equal(p) {
+		t.Fatalf("large-id round trip failed: %v %v", got, err)
+	}
+	s.Close()
+}
+
+func TestResourcesFirstSeenOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for _, rid := range []uint32{5, 2, 5, 9, 2} {
+		if err := s.Append(rid, tags.MustPost(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rids := s.Resources()
+	want := []uint32{5, 2, 9}
+	if len(rids) != 3 || rids[0] != want[0] || rids[1] != want[1] || rids[2] != want[2] {
+		t.Errorf("Resources = %v, want %v", rids, want)
+	}
+	s.Close()
+}
