@@ -3,9 +3,12 @@ package incentivetag
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"sync"
 
 	"incentivetag/internal/core"
 	"incentivetag/internal/crowd"
+	"incentivetag/internal/engine"
 	"incentivetag/internal/experiments"
 	"incentivetag/internal/ir"
 	"incentivetag/internal/optimal"
@@ -17,6 +20,7 @@ import (
 	"incentivetag/internal/strategy"
 	"incentivetag/internal/synth"
 	"incentivetag/internal/tags"
+	"incentivetag/internal/tagstore"
 	"incentivetag/internal/taxonomy"
 )
 
@@ -78,6 +82,9 @@ type (
 
 	// Checkpoint is a metric snapshot of a simulation run.
 	Checkpoint = sim.Checkpoint
+
+	// Metrics is the live tagging engine's O(1) aggregate snapshot.
+	Metrics = engine.Metrics
 
 	// Scale sizes an experiment suite run.
 	Scale = experiments.Scale
@@ -373,6 +380,163 @@ func RunAllExperiments(sc Scale, w io.Writer) error {
 		return err
 	}
 	return experiments.RunAll(ctx, w)
+}
+
+// ServiceOptions configure a live tagging Service.
+type ServiceOptions struct {
+	// Omega is the MA window ω for trackers and MU/FP-MU (default 5).
+	Omega int
+	// Shards is the engine shard count (default engine.DefaultShards);
+	// ingest throughput scales with shards across cores.
+	Shards int
+	// Strategy names the allocation policy behind Allocate: "RR", "FP",
+	// "MU" or "FP-MU" (default "FP-MU"). "FC" is rejected: Free Choice
+	// models organic tagger behaviour over the recorded replay stream,
+	// which a live service receives through Ingest instead of
+	// allocating.
+	Strategy string
+	// Seed drives stochastic strategies (default 1).
+	Seed int64
+	// WALDir, when non-empty, opens an append-only tagstore post log in
+	// that directory and writes every ingested post through it before it
+	// mutates engine state.
+	WALDir string
+	// Resources restricts the service to the first n corpus resources
+	// (0 = all).
+	Resources int
+}
+
+// Service is the live-serving facade over the sharded tagging engine:
+// the production-shaped counterpart of Simulation. Posts stream in
+// through Ingest from any number of goroutines; Allocate/Complete run
+// the incentive allocation loop of Algorithm 1 against the live state;
+// Quality and Snapshot read the incrementally maintained metrics in
+// O(1) regardless of corpus size.
+//
+// Ingest is safe for arbitrary concurrency. Allocate and Complete are
+// serialized internally (strategies are single-goroutine state
+// machines), so one allocation loop can run alongside many ingest
+// workers.
+type Service struct {
+	eng   *engine.Engine
+	wal   *tagstore.Store
+	strat strategy.Strategy
+
+	mu sync.Mutex // guards strat
+}
+
+// NewService builds a live tagging service over a corpus: each
+// resource is primed with its initial post prefix and measured against
+// its stable reference rfd, exactly as a deployment bootstrapped from a
+// historical tagging log would be.
+func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
+	if opts.Omega == 0 {
+		opts.Omega = 5
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = "FP-MU"
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Strategy == "FC" {
+		return nil, fmt.Errorf("incentivetag: FC models organic tagger choice over the recorded replay; a live Service receives organic traffic through Ingest — pick RR, FP, MU or FP-MU for Allocate")
+	}
+	data := sim.FromDataset(ds, opts.Resources)
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	var wal *tagstore.Store
+	if opts.WALDir != "" {
+		var err error
+		wal, err = tagstore.Open(opts.WALDir, tagstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.New(engine.Config{
+		Omega:          opts.Omega,
+		Shards:         opts.Shards,
+		UnderThreshold: data.UnderThreshold,
+		WAL:            wal,
+	}, data.EngineSpecs())
+	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
+		return nil, err
+	}
+	strat, err := NewStrategy(opts.Strategy, opts.Omega)
+	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
+		return nil, err
+	}
+	strat.Init(&engine.View{Eng: eng, Rng: rand.New(rand.NewSource(opts.Seed))})
+	return &Service{eng: eng, wal: wal, strat: strat}, nil
+}
+
+// N returns the number of resources served.
+func (s *Service) N() int { return s.eng.N() }
+
+// Ingest records one live post for a resource, updating its rfd, MA
+// score and every aggregate metric in O(|post|). Safe for concurrent
+// use; posts for resources on different shards proceed in parallel.
+func (s *Service) Ingest(resource int, p Post) error {
+	return s.eng.Ingest(resource, p)
+}
+
+// Allocate asks the configured strategy which resource the next
+// incentivized post task should target, given the remaining reward
+// budget. ok is false when nothing is allocatable. Every successful
+// Allocate must be followed by exactly one Complete for that resource:
+// the heap-based strategies pop the resource on Choose and only re-arm
+// it on the UPDATE step Complete drives.
+func (s *Service) Allocate(remaining int) (resource int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.strat.Choose(remaining)
+}
+
+// Complete ingests the post produced by an allocated task and notifies
+// the strategy (Algorithm 1's UPDATE step). The strategy is notified
+// even when ingest fails (e.g. a WAL write error), so a failed
+// completion re-arms the resource in the allocator instead of
+// permanently removing it; the engine state itself is untouched on
+// failure.
+func (s *Service) Complete(resource int, p Post) error {
+	err := s.eng.Ingest(resource, p)
+	if resource >= 0 && resource < s.eng.N() {
+		s.mu.Lock()
+		s.strat.Update(resource)
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Count returns the number of posts a resource has received.
+func (s *Service) Count(resource int) int { return s.eng.Count(resource) }
+
+// Quality returns the current mean tagging quality q(R, ·) — an O(1)
+// read of the engine's incremental aggregates.
+func (s *Service) Quality() float64 { return s.eng.Snapshot().MeanQuality }
+
+// Snapshot returns the full aggregate metric snapshot in O(shards).
+func (s *Service) Snapshot() Metrics { return s.eng.Snapshot() }
+
+// SnapshotRFDs clones every resource's current rfd counts for the
+// similarity case-study layer (NewSimilarityIndex).
+func (s *Service) SnapshotRFDs() []*Counts { return s.eng.SnapshotRFDs() }
+
+// Close flushes and releases the WAL, if one was configured.
+func (s *Service) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
 }
 
 // Worker is one simulated crowd participant (Figure 2's "Internet

@@ -3,7 +3,11 @@ package incentivetag
 import (
 	"bytes"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"incentivetag/internal/tagstore"
 )
 
 // sharedDS memoizes a small corpus across facade tests.
@@ -162,6 +166,99 @@ func TestSnapshotsAndSimilarity(t *testing.T) {
 	}
 	if !(tauFull > tauInitial) {
 		t.Errorf("full-data accuracy %.4f not above initial %.4f", tauFull, tauInitial)
+	}
+}
+
+// The Service facade: concurrent ingest, incentive allocation, O(1)
+// metric reads, and the durable WAL path.
+func TestServiceFacade(t *testing.T) {
+	ds := testDS(t)
+	walDir := t.TempDir()
+	svc, err := NewService(ds, ServiceOptions{Strategy: "FP", WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.N() != ds.N() {
+		t.Fatalf("service N = %d, want %d", svc.N(), ds.N())
+	}
+	before := svc.Snapshot()
+
+	// Concurrent organic ingest of recorded future posts.
+	const workers = 4
+	var wg sync.WaitGroup
+	var ingested int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < ds.N(); i += workers {
+				r := &ds.Resources[i]
+				for k := r.Initial; k < r.Initial+3 && k < len(r.Seq); k++ {
+					if err := svc.Ingest(i, r.Seq[k]); err != nil {
+						t.Error(err)
+						return
+					}
+					atomic.AddInt64(&ingested, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := svc.Snapshot()
+	if int64(m.Posts) != ingested {
+		t.Fatalf("snapshot posts %d, ingested %d", m.Posts, ingested)
+	}
+	if m.Posts <= before.Posts {
+		t.Fatal("ingest did not advance metrics")
+	}
+	if q := svc.Quality(); q <= 0 || q > 1 {
+		t.Fatalf("quality out of range: %g", q)
+	}
+
+	// Incentive loop: every allocation must name a real resource and
+	// Complete must feed the strategy without errors.
+	for b := 0; b < 25; b++ {
+		i, ok := svc.Allocate(25 - b)
+		if !ok {
+			t.Fatal("allocation exhausted unexpectedly")
+		}
+		r := &ds.Resources[i]
+		k := svc.Count(i)
+		p := r.Seq[len(r.Seq)-1]
+		if k < len(r.Seq) {
+			p = r.Seq[k]
+		}
+		if err := svc.Complete(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.Snapshot().Posts; int64(got) != ingested+25 {
+		t.Fatalf("posts after allocation = %d, want %d", got, ingested+25)
+	}
+
+	// The WAL recorded every live post (organic + allocated): reopen
+	// the log and count.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := tagstore.Open(walDir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if wal.Records() != ingested+25 {
+		t.Fatalf("wal has %d records, want %d", wal.Records(), ingested+25)
+	}
+
+	if _, err := NewService(ds, ServiceOptions{Strategy: "nope"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	// FC models organic traffic, not incentive allocation; the service
+	// must refuse it rather than let the allocator starve.
+	if _, err := NewService(ds, ServiceOptions{Strategy: "FC"}); err == nil {
+		t.Error("FC accepted as a live allocation strategy")
 	}
 }
 

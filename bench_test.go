@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"incentivetag/internal/benchkit"
 	"incentivetag/internal/experiments"
 	"incentivetag/internal/ir"
 	"incentivetag/internal/optimal"
@@ -334,6 +335,29 @@ func BenchmarkAblationCurvesParallel(b *testing.B) {
 		}
 	}
 }
+
+// Checkpoint-dense Figure-6 style runs: n=2000 with a metric snapshot
+// every 100 spent units of a B=10000 budget. The engine path reads the
+// incrementally maintained aggregates in O(1) per checkpoint; the
+// full-scan path retains the seed's O(n·|tags|) recomputation. The
+// ns/op ratio is the engine extraction's headline speedup (tracked
+// across PRs by cmd/tagbench → BENCH_engine.json).
+func benchCheckpointDense(b *testing.B, reference bool) {
+	sc := benchkit.DefaultScenario()
+	data, err := benchkit.Corpus(sc.N, sc.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchkit.Run(data, sc, reference); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointDenseEngine(b *testing.B)   { benchCheckpointDense(b, false) }
+func BenchmarkCheckpointDenseFullScan(b *testing.B) { benchCheckpointDense(b, true) }
 
 // Corpus generation throughput (the workload generator itself).
 func BenchmarkGenerateCorpus(b *testing.B) {

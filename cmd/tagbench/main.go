@@ -1,0 +1,162 @@
+// Command tagbench runs the engine's ingest/checkpoint benchmarks and
+// emits a machine-readable BENCH_engine.json, so the performance
+// trajectory of the tagging engine is tracked across PRs.
+//
+// Usage:
+//
+//	tagbench [-n 2000] [-budget 10000] [-every 100] [-seed 1] [-out BENCH_engine.json]
+//
+// The scenario is the checkpoint-dense Figure-6 shape: one strategy run
+// of the full budget, snapshotting metrics every -every spent units.
+// Both snapshot paths run under the testing.Benchmark harness — the
+// engine's O(1) incremental read and the seed's O(n·|tags|) full scan —
+// and the report records their ns/op plus the speedup ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"incentivetag/internal/benchkit"
+)
+
+// Report is the schema of BENCH_engine.json.
+type Report struct {
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	N           int   `json:"n"`
+	Budget      int   `json:"budget"`
+	Every       int   `json:"checkpoint_every"`
+	Checkpoints int   `json:"checkpoints"`
+	Seed        int64 `json:"seed"`
+
+	EngineNsPerOp    int64   `json:"engine_ns_per_op"`
+	FullScanNsPerOp  int64   `json:"fullscan_ns_per_op"`
+	Speedup          float64 `json:"speedup"`
+	EngineIters      int     `json:"engine_iters"`
+	FullScanIters    int     `json:"fullscan_iters"`
+	EngineBytesPerOp int64   `json:"engine_bytes_per_op"`
+
+	FinalMeanQuality float64 `json:"final_mean_quality"`
+	FinalOverTagged  int     `json:"final_over_tagged"`
+	FinalWastedPosts int     `json:"final_wasted_posts"`
+}
+
+func main() {
+	n := flag.Int("n", 0, "resource count (0 = scenario default)")
+	budget := flag.Int("budget", 0, "total budget (0 = scenario default)")
+	every := flag.Int("every", 0, "checkpoint interval in spent units (0 = scenario default)")
+	seed := flag.Int64("seed", 0, "corpus/run seed (0 = scenario default)")
+	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
+	flag.Parse()
+
+	sc := benchkit.DefaultScenario()
+	if *n > 0 {
+		sc.N = *n
+	}
+	if *budget > 0 {
+		sc.Budget = *budget
+	}
+	if *every > 0 {
+		sc.Every = *every
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	fmt.Fprintf(os.Stderr, "tagbench: generating corpus n=%d seed=%d\n", sc.N, sc.Seed)
+	data, err := benchkit.Corpus(sc.N, sc.Seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	// One warm, checked run of each path: the structural metrics must
+	// agree before any timing is worth reporting.
+	incCps, err := benchkit.Run(data, sc, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagbench: engine run: %v\n", err)
+		os.Exit(1)
+	}
+	refCps, err := benchkit.Run(data, sc, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagbench: full-scan run: %v\n", err)
+		os.Exit(1)
+	}
+	for k := range incCps {
+		a, b := incCps[k], refCps[k]
+		if a.Budget != b.Budget || a.OverTagged != b.OverTagged ||
+			a.UnderTagged != b.UnderTagged || a.WastedPosts != b.WastedPosts {
+			fmt.Fprintf(os.Stderr, "tagbench: checkpoint %d mismatch between paths: %+v vs %+v\n", k, a, b)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking engine path (budget=%d, %d checkpoints)\n",
+		sc.Budget, len(sc.Checkpoints()))
+	eng := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchkit.Run(data, sc, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking full-scan path\n")
+	ref := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := benchkit.Run(data, sc, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	final := incCps[len(incCps)-1]
+	rep := Report{
+		Timestamp:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		CPUs:             runtime.NumCPU(),
+		N:                sc.N,
+		Budget:           sc.Budget,
+		Every:            sc.Every,
+		Checkpoints:      len(sc.Checkpoints()),
+		Seed:             sc.Seed,
+		EngineNsPerOp:    eng.NsPerOp(),
+		FullScanNsPerOp:  ref.NsPerOp(),
+		Speedup:          float64(ref.NsPerOp()) / float64(eng.NsPerOp()),
+		EngineIters:      eng.N,
+		FullScanIters:    ref.N,
+		EngineBytesPerOp: eng.AllocedBytesPerOp(),
+		FinalMeanQuality: final.MeanQuality,
+		FinalOverTagged:  final.OverTagged,
+		FinalWastedPosts: final.WastedPosts,
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tagbench: engine %v/op, full-scan %v/op — %.1fx speedup\n",
+		time.Duration(eng.NsPerOp()), time.Duration(ref.NsPerOp()), rep.Speedup)
+}

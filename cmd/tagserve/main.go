@@ -1,0 +1,217 @@
+// Command tagserve drives the live tagging Service the way a serving
+// deployment would see traffic: many goroutines stream organic posts
+// into the sharded engine concurrently, an optional allocation loop
+// spends an incentive budget through Allocate/Complete at the same
+// time, and aggregate metrics are sampled live — each sample an O(1)
+// read, never a corpus scan.
+//
+// Usage:
+//
+//	tagserve [-n 1000] [-workers 8] [-shards 0] [-posts 0] [-budget 0]
+//	         [-strategy FP-MU] [-wal DIR] [-seed 1] [-report 250ms]
+//
+// -posts caps the organic ingest volume (0 = every recorded future
+// post); -budget > 0 additionally runs the incentive loop after the
+// organic phase. The run summary is printed to stdout as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	incentivetag "incentivetag"
+)
+
+type summary struct {
+	N       int `json:"n"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+
+	OrganicPosts   int     `json:"organic_posts"`
+	OrganicMillis  int64   `json:"organic_ms"`
+	PostsPerSecond float64 `json:"posts_per_sec"`
+
+	AllocatedTasks int   `json:"allocated_tasks"`
+	AllocateMillis int64 `json:"allocate_ms"`
+
+	FinalMeanQuality    float64 `json:"final_mean_quality"`
+	FinalOverTagged     int     `json:"final_over_tagged"`
+	FinalUnderTaggedPct float64 `json:"final_under_tagged_pct"`
+	FinalWastedPosts    int     `json:"final_wasted_posts"`
+	WALDir              string  `json:"wal_dir,omitempty"`
+}
+
+func main() {
+	n := flag.Int("n", 1000, "resource count of the synthetic corpus")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent ingest goroutines")
+	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	posts := flag.Int("posts", 0, "organic posts to ingest (0 = all recorded future posts)")
+	budget := flag.Int("budget", 0, "incentive budget to spend after the organic phase")
+	stratName := flag.String("strategy", "FP-MU", "allocation strategy for -budget")
+	walDir := flag.String("wal", "", "directory for the durable post log (empty = no WAL)")
+	seed := flag.Int64("seed", 1, "corpus and strategy seed")
+	report := flag.Duration("report", 250*time.Millisecond, "live metric sampling interval")
+	flag.Parse()
+
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(*n, *seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagserve: corpus: %v\n", err)
+		os.Exit(1)
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
+		Shards:   *shards,
+		Strategy: *stratName,
+		Seed:     *seed,
+		WALDir:   *walDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagserve: service: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	// next[i] is the cursor into resource i's recorded sequence; organic
+	// workers and the allocation loop claim posts through it atomically.
+	next := make([]int64, ds.N())
+	total := 0
+	for i := range next {
+		next[i] = int64(ds.Resources[i].Initial)
+		total += len(ds.Resources[i].Seq) - ds.Resources[i].Initial
+	}
+	organicCap := total
+	if *posts > 0 && *posts < organicCap {
+		organicCap = *posts
+	}
+	claim := func(i int) (incentivetag.Post, bool) {
+		k := atomic.AddInt64(&next[i], 1) - 1
+		seq := ds.Resources[i].Seq
+		if int(k) >= len(seq) {
+			// Converged resource: a live tagger restates the stable
+			// vocabulary (replay of the final recorded post).
+			return seq[len(seq)-1], false
+		}
+		return seq[k], true
+	}
+
+	// Live metric sampler: concurrent O(1) snapshots while ingest runs.
+	stopReport := make(chan struct{})
+	var reportWG sync.WaitGroup
+	if *report > 0 {
+		reportWG.Add(1)
+		go func() {
+			defer reportWG.Done()
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopReport:
+					return
+				case <-tick.C:
+					m := svc.Snapshot()
+					fmt.Fprintf(os.Stderr, "tagserve: posts=%d quality=%.4f over=%d under=%.1f%% wasted=%d\n",
+						m.Posts, m.MeanQuality, m.OverTagged, 100*m.UnderTaggedPct, m.WastedPosts)
+				}
+			}
+		}()
+	}
+
+	// Organic phase: workers stream recorded posts across their resource
+	// stripes until the cap is hit or the replay is exhausted.
+	var ingested int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// reserve takes one unit of the organic quota, exactly
+			// (workers never overshoot the -posts cap).
+			reserve := func() bool {
+				for {
+					cur := atomic.LoadInt64(&ingested)
+					if cur >= int64(organicCap) {
+						return false
+					}
+					if atomic.CompareAndSwapInt64(&ingested, cur, cur+1) {
+						return true
+					}
+				}
+			}
+			for {
+				progress := false
+				for i := w; i < ds.N(); i += *workers {
+					p, ok := claim(i)
+					if !ok {
+						continue
+					}
+					if !reserve() {
+						return
+					}
+					if err := svc.Ingest(i, p); err != nil {
+						fmt.Fprintf(os.Stderr, "tagserve: ingest: %v\n", err)
+						os.Exit(1)
+					}
+					progress = true
+				}
+				if !progress {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	organicElapsed := time.Since(start)
+
+	// Incentive phase: single allocation loop over the live engine.
+	allocated := 0
+	var allocElapsed time.Duration
+	if *budget > 0 {
+		t0 := time.Now()
+		for remaining := *budget; remaining > 0; {
+			i, ok := svc.Allocate(remaining)
+			if !ok {
+				break
+			}
+			p, _ := claim(i)
+			if err := svc.Complete(i, p); err != nil {
+				fmt.Fprintf(os.Stderr, "tagserve: complete: %v\n", err)
+				os.Exit(1)
+			}
+			allocated++
+			remaining--
+		}
+		allocElapsed = time.Since(t0)
+	}
+
+	close(stopReport)
+	reportWG.Wait()
+
+	m := svc.Snapshot()
+	out := summary{
+		N:                   ds.N(),
+		Workers:             *workers,
+		Shards:              *shards,
+		OrganicPosts:        int(ingested),
+		OrganicMillis:       organicElapsed.Milliseconds(),
+		PostsPerSecond:      float64(ingested) / organicElapsed.Seconds(),
+		AllocatedTasks:      allocated,
+		AllocateMillis:      allocElapsed.Milliseconds(),
+		FinalMeanQuality:    m.MeanQuality,
+		FinalOverTagged:     m.OverTagged,
+		FinalUnderTaggedPct: m.UnderTaggedPct,
+		FinalWastedPosts:    m.WastedPosts,
+		WALDir:              *walDir,
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+}

@@ -27,7 +27,13 @@
 //   - the IR case-study layer: top-k similar resources and Kendall-τ
 //     ranking accuracy (NewSimilarityIndex, RankingAccuracy);
 //   - every table and figure of the paper's evaluation as runnable
-//     experiments (RunExperiment, Experiments).
+//     experiments (RunExperiment, Experiments);
+//   - a live serving facade over the concurrent sharded tagging engine
+//     (Service): lock-striped Ingest from any number of goroutines, the
+//     Allocate/Complete incentive loop of Algorithm 1 against live
+//     state, and O(1) aggregate metric reads (Quality, Snapshot) backed
+//     by incrementally maintained quality sums — with an optional
+//     crash-safe write-ahead post log (ServiceOptions.WALDir).
 //
 // # Quick start
 //
@@ -36,6 +42,17 @@
 //	res, _ := sim.Run("FP", 2000)
 //	fmt.Printf("quality %.4f -> %.4f\n", res.InitialQuality, res.FinalQuality)
 //
-// See examples/ for complete programs and DESIGN.md for the system
-// inventory and the paper-to-module map.
+// # Live serving
+//
+//	svc, _ := incentivetag.NewService(ds, incentivetag.ServiceOptions{})
+//	defer svc.Close()
+//	_ = svc.Ingest(42, post)            // concurrent-safe live traffic
+//	if i, ok := svc.Allocate(100); ok { // CHOOSE the next post task
+//		_ = svc.Complete(i, taggerPost) // ingest its result + UPDATE
+//	}
+//	fmt.Println(svc.Quality())          // O(1), independent of corpus size
+//
+// See examples/ for complete programs, README.md for the architecture
+// map, and DESIGN.md for the system inventory and the paper-to-module
+// map.
 package incentivetag

@@ -1,0 +1,3 @@
+module incentivetag
+
+go 1.24

@@ -1,0 +1,39 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+// Both snapshot paths must agree on every checkpoint of the scenario
+// (scaled down so the test stays fast; the timing claim itself lives in
+// the benchmarks and cmd/tagbench, not in a flaky test assertion).
+func TestScenarioPathsAgree(t *testing.T) {
+	sc := Scenario{N: 200, Budget: 1000, Every: 100, Seed: 1}
+	d, err := Corpus(sc.N, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := Run(d, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(d, sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != len(ref) || len(inc) != len(sc.Checkpoints()) {
+		t.Fatalf("checkpoint counts: incremental %d, reference %d, schedule %d",
+			len(inc), len(ref), len(sc.Checkpoints()))
+	}
+	for k := range inc {
+		a, b := inc[k], ref[k]
+		if a.Budget != b.Budget || a.OverTagged != b.OverTagged ||
+			a.UnderTagged != b.UnderTagged || a.WastedPosts != b.WastedPosts {
+			t.Fatalf("checkpoint %d structural mismatch: %+v vs %+v", k, a, b)
+		}
+		if math.Abs(a.MeanQuality-b.MeanQuality) > 1e-9 {
+			t.Fatalf("checkpoint %d quality %.17g vs %.17g", k, a.MeanQuality, b.MeanQuality)
+		}
+	}
+}

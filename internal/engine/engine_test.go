@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"incentivetag/internal/quality"
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/stability"
+	"incentivetag/internal/strategy"
+	"incentivetag/internal/tags"
+	"incentivetag/internal/tagstore"
+)
+
+// testSpecs builds n resources with deterministic post material: for
+// each resource a full recorded sequence, an initial prefix, a stable
+// point, and a reference rfd taken at the stable point.
+func testSpecs(t *testing.T, n int, seed int64) ([]ResourceSpec, []tags.Seq) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]ResourceSpec, n)
+	seqs := make([]tags.Seq, n)
+	for i := 0; i < n; i++ {
+		total := 30 + rng.Intn(40)
+		seq := make(tags.Seq, total)
+		// A small per-resource tag pool makes sequences converge.
+		base := tags.Tag(rng.Intn(50))
+		for k := range seq {
+			m := 1 + rng.Intn(3)
+			ts := make([]tags.Tag, m)
+			for j := range ts {
+				ts[j] = base + tags.Tag(rng.Intn(8))
+			}
+			p, err := tags.NewPost(ts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq[k] = p
+		}
+		seqs[i] = seq
+		stableK := total * 2 / 3
+		specs[i] = ResourceSpec{
+			Initial: seq[:5+rng.Intn(10)],
+			Ref:     quality.NewReference(sparse.FromSeq(seq, stableK)),
+			StableK: stableK,
+		}
+	}
+	return specs, seqs
+}
+
+// requireMetricsMatch asserts the incremental snapshot agrees with the
+// full-scan oracle: integer metrics exactly, quality sum to float
+// reassociation tolerance.
+func requireMetricsMatch(t *testing.T, got, want Metrics) {
+	t.Helper()
+	if got.Spent != want.Spent || got.Posts != want.Posts {
+		t.Fatalf("spent/posts: got %d/%d want %d/%d", got.Spent, got.Posts, want.Spent, want.Posts)
+	}
+	if got.OverTagged != want.OverTagged {
+		t.Fatalf("over-tagged: got %d want %d", got.OverTagged, want.OverTagged)
+	}
+	if got.UnderTagged != want.UnderTagged {
+		t.Fatalf("under-tagged: got %d want %d", got.UnderTagged, want.UnderTagged)
+	}
+	if got.WastedPosts != want.WastedPosts {
+		t.Fatalf("wasted: got %d want %d", got.WastedPosts, want.WastedPosts)
+	}
+	if math.Abs(got.MeanQuality-want.MeanQuality) > 1e-12 {
+		t.Fatalf("mean quality: got %.17g want %.17g", got.MeanQuality, want.MeanQuality)
+	}
+}
+
+// The incremental metrics must track the full-scan oracle at every
+// single step of a sequential ingest run.
+func TestIncrementalMatchesFullScan(t *testing.T) {
+	specs, seqs := testSpecs(t, 24, 1)
+	e, err := New(Config{Omega: 5, Shards: 3, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMetricsMatch(t, e.Snapshot(), e.VerifyMetrics())
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 600; step++ {
+		i := rng.Intn(e.N())
+		if e.Count(i) >= len(seqs[i]) {
+			continue
+		}
+		if err := e.Ingest(i, seqs[i][e.Count(i)]); err != nil {
+			t.Fatal(err)
+		}
+		requireMetricsMatch(t, e.Snapshot(), e.VerifyMetrics())
+	}
+}
+
+// Per-resource incremental quality must be bit-identical to the cosine
+// the seed's full scan computed (integer-exact dot and norms).
+func TestQualityOfBitIdentical(t *testing.T) {
+	specs, seqs := testSpecs(t, 16, 3)
+	e, err := New(Config{Omega: 5, Shards: 4, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 400; step++ {
+		i := rng.Intn(e.N())
+		if e.Count(i) >= len(seqs[i]) {
+			continue
+		}
+		if err := e.Ingest(i, seqs[i][e.Count(i)]); err != nil {
+			t.Fatal(err)
+		}
+		// Recompute the cosine exactly as the seed did.
+		tr := stability.NewTracker(5)
+		for k := 0; k < e.Count(i); k++ {
+			tr.Observe(seqs[i][k])
+		}
+		want := specs[i].Ref.Of(tr.Counts())
+		if got := e.QualityOf(i); got != want {
+			t.Fatalf("resource %d after %d posts: quality %.17g != full-scan %.17g", i, e.Count(i), got, want)
+		}
+	}
+}
+
+// Concurrent ingest across goroutines: totals must be exact and the
+// final metrics must agree with the full-scan oracle. Run under -race
+// this also proves the shard locking is sound.
+func TestConcurrentIngest(t *testing.T) {
+	specs, seqs := testSpecs(t, 64, 5)
+	e, err := New(Config{Omega: 5, Shards: 8, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	var total int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			// Each worker replays the future posts of its own resource
+			// stripe; stripes hit every shard, so shard locks are
+			// exercised by concurrent neighbors.
+			for i := w; i < e.N(); i += workers {
+				for k := len(specs[i].Initial); k < len(seqs[i]); k++ {
+					if err := e.Ingest(i, seqs[i][k]); err != nil {
+						t.Error(err)
+						return
+					}
+					n++
+					// Interleave metric reads with writes.
+					if n%16 == 0 {
+						_ = e.Snapshot()
+						_, _ = e.MA(i)
+					}
+				}
+			}
+			mu.Lock()
+			total += int64(n)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	m := e.Snapshot()
+	if int64(m.Posts) != total {
+		t.Fatalf("ingested %d posts, engine counted %d", total, m.Posts)
+	}
+	if int64(m.Spent) != total {
+		t.Fatalf("unit costs: spent %d != posts %d", m.Spent, total)
+	}
+	requireMetricsMatch(t, m, e.VerifyMetrics())
+	for i := 0; i < e.N(); i++ {
+		if e.Count(i) != len(seqs[i]) {
+			t.Fatalf("resource %d: count %d != %d", i, e.Count(i), len(seqs[i]))
+		}
+	}
+}
+
+// Over-/under-tagged and waste transitions fire at the exact crossing
+// posts.
+func TestMetricTransitions(t *testing.T) {
+	post := func(ts ...tags.Tag) tags.Post {
+		p, err := tags.NewPost(ts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ref := quality.NewReference(sparse.FromSeq(tags.Seq{post(1), post(1, 2)}, 2))
+	e, err := New(Config{Omega: 2, Shards: 1, UnderThreshold: 2}, []ResourceSpec{
+		{Ref: ref, StableK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Snapshot()
+	if m.UnderTagged != 1 || m.OverTagged != 0 || m.WastedPosts != 0 {
+		t.Fatalf("initial metrics: %+v", m)
+	}
+	steps := []struct {
+		under, over, wasted int
+	}{
+		{1, 0, 0}, // count 1: still under (≤2)
+		{1, 0, 0}, // count 2: still under
+		{0, 0, 0}, // count 3: crossed threshold
+		{0, 1, 0}, // count 4: reached stable point
+		{0, 1, 1}, // count 5: first wasted post (ran at k ≥ k*)
+		{0, 1, 2}, // count 6
+	}
+	for k, want := range steps {
+		if err := e.Ingest(0, post(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		m := e.Snapshot()
+		if m.UnderTagged != want.under || m.OverTagged != want.over || m.WastedPosts != want.wasted {
+			t.Fatalf("after post %d: got under=%d over=%d wasted=%d, want %+v",
+				k+1, m.UnderTagged, m.OverTagged, m.WastedPosts, want)
+		}
+	}
+}
+
+// The WAL must record every ingested post (and none of the primed
+// prefix), recoverable after reopening.
+func TestWALRecordsIngest(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := tagstore.Open(dir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, seqs := testSpecs(t, 6, 7)
+	e, err := New(Config{Omega: 5, Shards: 2, UnderThreshold: 10, WAL: wal}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < e.N(); i++ {
+		for k := len(specs[i].Initial); k < len(seqs[i]); k++ {
+			if err := e.Ingest(i, seqs[i][k]); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := tagstore.Open(dir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if int(re.Records()) != want {
+		t.Fatalf("wal has %d records, want %d", re.Records(), want)
+	}
+	for i := 0; i < e.N(); i++ {
+		got, err := re.Posts(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures := seqs[i][len(specs[i].Initial):]
+		if len(got) != len(futures) {
+			t.Fatalf("resource %d: wal has %d posts, want %d", i, len(got), len(futures))
+		}
+	}
+}
+
+// View satisfies the strategy.Env contract and can drive a real policy
+// over live engine state.
+func TestViewDrivesStrategy(t *testing.T) {
+	specs, seqs := testSpecs(t, 12, 9)
+	e, err := New(Config{Omega: 5, Shards: 4, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]int, e.N())
+	for i := range next {
+		next[i] = len(specs[i].Initial)
+	}
+	v := &View{
+		Eng:         e,
+		AvailableFn: func(i int) bool { return next[i] < len(seqs[i]) },
+		Rng:         rand.New(rand.NewSource(1)),
+	}
+	s := strategy.NewFP()
+	s.Init(v)
+	for b := 0; b < 100; b++ {
+		i, ok := s.Choose(100 - b)
+		if !ok {
+			break
+		}
+		if err := e.Ingest(i, seqs[i][next[i]]); err != nil {
+			t.Fatal(err)
+		}
+		next[i]++
+		s.Update(i)
+	}
+	if got := e.Snapshot().Posts; got != 100 {
+		t.Fatalf("allocated %d posts, want 100", got)
+	}
+}
+
+// Constructor validation.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Omega: 1}, nil); err == nil {
+		t.Error("omega 1 accepted")
+	}
+	if _, err := New(Config{}, []ResourceSpec{{StableK: -1}}); err == nil {
+		t.Error("negative stable point accepted")
+	}
+	if _, err := New(Config{}, []ResourceSpec{{Cost: -2}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	e, err := New(Config{}, []ResourceSpec{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(5, tags.Post{1}); err == nil {
+		t.Error("out-of-range ingest accepted")
+	}
+	if err := e.Ingest(0, tags.Post{}); err == nil {
+		t.Error("empty post accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"math/rand"
+
+	"incentivetag/internal/strategy"
+)
+
+// View adapts an Engine to strategy.Env, exposing the live engine state
+// to the allocation policies of Algorithm 1. The zero Available/Rand
+// defaults suit a serving deployment: every resource can always receive
+// another post (there is no finite replay to exhaust), and stochastic
+// strategies get a private deterministic stream.
+//
+// A View itself holds no mutable state; the single-goroutine discipline
+// the strategies require must be enforced by the caller (the public
+// Service serializes Allocate/Complete behind one mutex).
+type View struct {
+	// Eng is the engine being observed.
+	Eng *Engine
+	// AvailableFn overrides availability; nil means every resource is
+	// always available.
+	AvailableFn func(i int) bool
+	// Rng is the RNG handed to stochastic strategies; nil panics on
+	// first use by such a strategy (deterministic policies never call
+	// Rand).
+	Rng *rand.Rand
+}
+
+var _ strategy.Env = (*View)(nil)
+
+// N returns the number of resources.
+func (v *View) N() int { return v.Eng.N() }
+
+// Count returns c_i + x_i for resource i.
+func (v *View) Count(i int) int { return v.Eng.Count(i) }
+
+// MA returns resource i's current MA stability score.
+func (v *View) MA(i int) (float64, bool) { return v.Eng.MA(i) }
+
+// Available reports whether resource i can receive another post.
+func (v *View) Available(i int) bool {
+	if v.AvailableFn == nil {
+		return true
+	}
+	return v.AvailableFn(i)
+}
+
+// Cost returns the reward units one post task on i consumes.
+func (v *View) Cost(i int) int { return v.Eng.CostOf(i) }
+
+// Rand returns the deterministic RNG stream for stochastic choices.
+func (v *View) Rand() *rand.Rand { return v.Rng }

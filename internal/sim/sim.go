@@ -13,6 +13,12 @@
 // the metric series behind Figures 6(a)–(h): mean tagging quality,
 // over-tagged resource counts, wasted post tasks, under-tagged
 // percentages, and wall-clock runtime.
+//
+// Since the engine extraction, State is a thin replay adapter over
+// internal/engine: the engine owns trackers, consumed counts and the
+// incrementally maintained aggregate metrics, so checkpoint snapshots
+// are O(1) reads instead of O(n·|tags|) scans. RunReference retains the
+// seed's full-scan snapshot path as the equivalence oracle.
 package sim
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"incentivetag/internal/core"
+	"incentivetag/internal/engine"
 	"incentivetag/internal/quality"
 	"incentivetag/internal/sparse"
 	"incentivetag/internal/stability"
@@ -79,8 +86,15 @@ func (d *Data) Validate() error {
 	if len(d.Initial) != n || len(d.StableK) != n || len(d.Refs) != n {
 		return fmt.Errorf("sim: inconsistent data vectors")
 	}
-	if d.Costs != nil && len(d.Costs) != n {
-		return fmt.Errorf("sim: %d costs for %d resources", len(d.Costs), n)
+	if d.Costs != nil {
+		if len(d.Costs) != n {
+			return fmt.Errorf("sim: %d costs for %d resources", len(d.Costs), n)
+		}
+		for i, c := range d.Costs {
+			if c <= 0 {
+				return fmt.Errorf("sim: resource %d has non-positive cost %d", i, c)
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		if d.Initial[i] < 0 || d.Initial[i] > len(d.Seqs[i]) {
@@ -106,40 +120,65 @@ func (d *Data) MaxBudget() int {
 	return total
 }
 
-// State is one mutable simulation run. It implements strategy.Env and
-// strategy.OrganicWeighter.
+// State is one mutable simulation run: a thin replay adapter over the
+// shared engine core (internal/engine), which owns the trackers, the
+// consumed counts and the incrementally maintained metrics. State adds
+// the replay semantics — posts come from the recorded sequences, and a
+// resource is Available only while recorded posts remain — and keeps
+// the assignment vector the paper's analyses read. It implements
+// strategy.Env and strategy.OrganicWeighter.
 type State struct {
-	data     *Data
-	omega    int
-	rng      *rand.Rand
-	trackers []*stability.Tracker
-	consumed []int // Initial[i] + x[i]
-	x        core.Assignment
-	wasted   int
-	spent    int
+	data *Data
+	rng  *rand.Rand
+	eng  *engine.Engine
+	x    core.Assignment
 }
 
-// NewState primes a fresh run: trackers replay each resource's initial
-// prefix so MA scores reflect the January state.
-func NewState(data *Data, omega int, seed int64) *State {
-	st := &State{
-		data:     data,
-		omega:    omega,
-		rng:      rand.New(rand.NewSource(seed)),
-		trackers: make([]*stability.Tracker, data.N()),
-		consumed: make([]int, data.N()),
-		x:        make(core.Assignment, data.N()),
-	}
-	for i := 0; i < data.N(); i++ {
-		tr := stability.NewTracker(omega)
-		for k := 0; k < data.Initial[i]; k++ {
-			tr.Observe(data.Seqs[i][k])
+// EngineSpecs maps the replay data onto engine resource declarations:
+// initial prefix, stable reference, stable point and task cost per
+// resource. Both the simulator and the public Service build their
+// engines through this single translation.
+func (d *Data) EngineSpecs() []engine.ResourceSpec {
+	specs := make([]engine.ResourceSpec, d.N())
+	for i := range specs {
+		specs[i] = engine.ResourceSpec{
+			Initial: d.Seqs[i][:d.Initial[i]],
+			Ref:     d.Refs[i],
+			StableK: d.StableK[i],
 		}
-		st.trackers[i] = tr
-		st.consumed[i] = data.Initial[i]
+		if d.Costs != nil {
+			specs[i].Cost = d.Costs[i]
+		}
 	}
-	return st
+	return specs
 }
+
+// NewState primes a fresh run: the engine replays each resource's
+// initial prefix so MA scores reflect the January state. The engine is
+// built with a single shard so aggregate summation order (and thus
+// every reported float) is reproducible across machines.
+func NewState(data *Data, omega int, seed int64) *State {
+	eng, err := engine.New(engine.Config{
+		Omega:          omega,
+		Shards:         1,
+		UnderThreshold: data.UnderThreshold,
+	}, data.EngineSpecs())
+	if err != nil {
+		// Data.Validate catches every bad input; reaching here means the
+		// caller skipped validation with corrupt vectors.
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return &State{
+		data: data,
+		rng:  rand.New(rand.NewSource(seed)),
+		eng:  eng,
+		x:    make(core.Assignment, data.N()),
+	}
+}
+
+// Engine exposes the underlying shared engine core (read-side use:
+// per-resource quality, live metric snapshots).
+func (st *State) Engine() *engine.Engine { return st.eng }
 
 // --- strategy.Env implementation ---
 
@@ -147,21 +186,18 @@ func NewState(data *Data, omega int, seed int64) *State {
 func (st *State) N() int { return st.data.N() }
 
 // Count returns c_i + x_i.
-func (st *State) Count(i int) int { return st.consumed[i] }
+func (st *State) Count(i int) int { return st.eng.Count(i) }
 
 // MA returns the resource's current MA score.
-func (st *State) MA(i int) (float64, bool) { return st.trackers[i].MA() }
+func (st *State) MA(i int) (float64, bool) { return st.eng.MA(i) }
 
 // Available reports whether recorded future posts remain for i.
-func (st *State) Available(i int) bool { return st.consumed[i] < len(st.data.Seqs[i]) }
+func (st *State) Available(i int) bool { return st.eng.Count(i) < len(st.data.Seqs[i]) }
 
-// Cost returns the reward units of one post task on i.
-func (st *State) Cost(i int) int {
-	if st.data.Costs == nil {
-		return 1
-	}
-	return st.data.Costs[i]
-}
+// Cost returns the reward units of one post task on i, captured from
+// Data.Costs at NewState (costs must be positive; Data.Validate
+// enforces it).
+func (st *State) Cost(i int) int { return st.eng.CostOf(i) }
 
 // Rand returns the run's deterministic RNG.
 func (st *State) Rand() *rand.Rand { return st.rng }
@@ -190,43 +226,46 @@ type Checkpoint struct {
 	Elapsed time.Duration
 }
 
-// snapshot computes the current metric values.
-func (st *State) snapshot(elapsed time.Duration) Checkpoint {
-	n := st.data.N()
-	cp := Checkpoint{Budget: st.spent, WastedPosts: st.wasted, Elapsed: elapsed}
-	var qsum float64
-	for i := 0; i < n; i++ {
-		qsum += st.data.Refs[i].Of(st.trackers[i].Counts())
-		if st.consumed[i] >= st.data.StableK[i] {
-			cp.OverTagged++
-		}
-		if st.consumed[i] <= st.data.UnderThreshold {
-			cp.UnderTagged++
-		}
+// fromMetrics maps an engine aggregate snapshot onto a Checkpoint.
+func fromMetrics(m engine.Metrics, elapsed time.Duration) Checkpoint {
+	return Checkpoint{
+		Budget:         m.Spent,
+		MeanQuality:    m.MeanQuality,
+		OverTagged:     m.OverTagged,
+		UnderTagged:    m.UnderTagged,
+		UnderTaggedPct: m.UnderTaggedPct,
+		WastedPosts:    m.WastedPosts,
+		Elapsed:        elapsed,
 	}
-	cp.MeanQuality = qsum / float64(n)
-	cp.UnderTaggedPct = float64(cp.UnderTagged) / float64(n)
-	return cp
+}
+
+// snapshot reads the engine's incrementally maintained metrics — O(1)
+// in the resource count, where the seed recomputed an O(n·|tags|) scan
+// at every checkpoint.
+func (st *State) snapshot(elapsed time.Duration) Checkpoint {
+	return fromMetrics(st.eng.Snapshot(), elapsed)
+}
+
+// VerifySnapshot recomputes the checkpoint by the seed's full scan —
+// the O(n·|tags|) reference path retained for equivalence tests and
+// the checkpoint-cost benchmarks. Production callers use the O(1)
+// incremental snapshot via Run / Quality.
+func (st *State) VerifySnapshot(elapsed time.Duration) Checkpoint {
+	return fromMetrics(st.eng.VerifyMetrics(), elapsed)
 }
 
 // Quality returns the current mean tagging quality q(R, ·).
-func (st *State) Quality() float64 { return st.snapshot(0).MeanQuality }
+func (st *State) Quality() float64 { return st.eng.Snapshot().MeanQuality }
 
 // SnapshotRFDs clones every resource's current rfd counts — the input of
 // the similarity case studies (§V-C).
-func (st *State) SnapshotRFDs() []*sparse.Counts {
-	out := make([]*sparse.Counts, len(st.trackers))
-	for i, tr := range st.trackers {
-		out[i] = tr.Snapshot()
-	}
-	return out
-}
+func (st *State) SnapshotRFDs() []*sparse.Counts { return st.eng.SnapshotRFDs() }
 
 // Assignment returns a copy of the tasks allocated so far.
 func (st *State) Assignment() core.Assignment { return st.x.Clone() }
 
 // Spent returns the budget consumed so far.
-func (st *State) Spent() int { return st.spent }
+func (st *State) Spent() int { return st.eng.Spent() }
 
 // Step allocates one post task to resource i, replaying its next recorded
 // post. It returns an error if the resource is exhausted.
@@ -237,13 +276,10 @@ func (st *State) Step(i int) error {
 	if !st.Available(i) {
 		return fmt.Errorf("sim: resource %d has no replayable posts left", i)
 	}
-	if st.consumed[i] >= st.data.StableK[i] {
-		st.wasted++
+	if err := st.eng.Ingest(i, st.data.Seqs[i][st.eng.Count(i)]); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
-	st.trackers[i].Observe(st.data.Seqs[i][st.consumed[i]])
-	st.consumed[i]++
 	st.x[i]++
-	st.spent += st.Cost(i)
 	return nil
 }
 
@@ -251,8 +287,22 @@ func (st *State) Step(i int) error {
 // task on it via replay, and UPDATE the strategy, until the budget is
 // exhausted or the strategy has nothing to allocate. Snapshots are taken
 // whenever spent budget crosses one of the ascending checkpoint values
-// (checkpoints == nil records only the final state).
+// (checkpoints == nil records only the final state). Each snapshot is an
+// O(1) read of the engine's incremental metrics.
 func (st *State) Run(s strategy.Strategy, budget int, checkpoints []int) ([]Checkpoint, error) {
+	return st.run(s, budget, checkpoints, st.snapshot)
+}
+
+// RunReference is Run with every snapshot recomputed by the seed's full
+// O(n·|tags|) scan instead of the incremental metrics. It exists as the
+// equivalence oracle: for a fixed seed it must produce the same
+// checkpoints as Run (bit-identical integer metrics and per-resource
+// qualities; mean quality up to float reassociation of the n-term sum).
+func (st *State) RunReference(s strategy.Strategy, budget int, checkpoints []int) ([]Checkpoint, error) {
+	return st.run(s, budget, checkpoints, st.VerifySnapshot)
+}
+
+func (st *State) run(s strategy.Strategy, budget int, checkpoints []int, snap func(time.Duration) Checkpoint) ([]Checkpoint, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("sim: negative budget %d", budget)
 	}
@@ -263,18 +313,19 @@ func (st *State) Run(s strategy.Strategy, budget int, checkpoints []int) ([]Chec
 	next := 0
 	record := func() {
 		ms := time.Now()
-		out = append(out, st.snapshot(time.Since(start)-metricTime))
+		out = append(out, snap(time.Since(start)-metricTime))
 		metricTime += time.Since(ms)
 	}
 	// A checkpoint at 0 captures the initial state before any task.
-	for next < len(checkpoints) && checkpoints[next] <= st.spent {
+	spent := st.Spent()
+	for next < len(checkpoints) && checkpoints[next] <= spent {
 		record()
 		next++
 	}
 
 	s.Init(st)
-	for st.spent < budget {
-		i, ok := s.Choose(budget - st.spent)
+	for spent < budget {
+		i, ok := s.Choose(budget - spent)
 		if !ok {
 			break // nothing allocatable: replay exhausted or unaffordable
 		}
@@ -282,12 +333,13 @@ func (st *State) Run(s strategy.Strategy, budget int, checkpoints []int) ([]Chec
 			return nil, fmt.Errorf("sim: strategy %s chose invalid resource: %w", s.Name(), err)
 		}
 		s.Update(i)
-		for next < len(checkpoints) && st.spent >= checkpoints[next] {
+		spent = st.Spent()
+		for next < len(checkpoints) && spent >= checkpoints[next] {
 			record()
 			next++
 		}
 	}
-	if len(out) == 0 || out[len(out)-1].Budget != st.spent {
+	if len(out) == 0 || out[len(out)-1].Budget != spent {
 		record()
 	}
 	return out, nil

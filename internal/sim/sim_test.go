@@ -134,6 +134,77 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// The engine-backed incremental checkpoint path must reproduce the
+// seed's full-scan checkpoints for a fixed seed, for every strategy:
+// identical assignments, bit-identical integer metrics and per-resource
+// qualities, and mean quality up to the reassociation of the n-term sum
+// (the per-resource cosines are integer-exact in both paths, so only
+// the order of the final float additions can differ).
+func TestEngineMatchesReferenceCheckpoints(t *testing.T) {
+	d := testData(t, 40, 21)
+	checkpoints := []int{0, 25, 50, 75, 100, 125, 150, 175, 200}
+	for _, name := range []string{"FC", "RR", "FP", "MU", "FP-MU"} {
+		mk := func() strategy.Strategy {
+			switch name {
+			case "FC":
+				return strategy.NewFC(nil)
+			case "RR":
+				return strategy.NewRR()
+			case "FP":
+				return strategy.NewFP()
+			case "MU":
+				return strategy.NewMU()
+			default:
+				return strategy.NewFPMU(5)
+			}
+		}
+		inc := NewState(d, 5, 77)
+		incCps, err := inc.Run(mk(), 200, checkpoints)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref := NewState(d, 5, 77)
+		refCps, err := ref.RunReference(mk(), 200, checkpoints)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x1, x2 := inc.Assignment(), ref.Assignment()
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				t.Fatalf("%s: assignment diverges at resource %d: %d vs %d", name, i, x1[i], x2[i])
+			}
+		}
+		if len(incCps) != len(refCps) {
+			t.Fatalf("%s: %d checkpoints vs %d", name, len(incCps), len(refCps))
+		}
+		for k := range incCps {
+			a, b := incCps[k], refCps[k]
+			if a.Budget != b.Budget || a.OverTagged != b.OverTagged ||
+				a.UnderTagged != b.UnderTagged || a.WastedPosts != b.WastedPosts {
+				t.Fatalf("%s: checkpoint %d structural mismatch: %+v vs %+v", name, k, a, b)
+			}
+			if a.UnderTaggedPct != b.UnderTaggedPct {
+				t.Fatalf("%s: checkpoint %d under-tagged pct %.17g vs %.17g", name, k, a.UnderTaggedPct, b.UnderTaggedPct)
+			}
+			if math.Abs(a.MeanQuality-b.MeanQuality) > 1e-9 {
+				t.Fatalf("%s: checkpoint %d mean quality %.17g vs %.17g", name, k, a.MeanQuality, b.MeanQuality)
+			}
+		}
+		// Per-resource qualities are bit-identical between the engine's
+		// incremental maintenance and a from-scratch cosine.
+		for i := 0; i < d.N(); i++ {
+			tr := stability.NewTracker(5)
+			for k := 0; k < inc.Count(i); k++ {
+				tr.Observe(d.Seqs[i][k])
+			}
+			want := d.Refs[i].Of(tr.Counts())
+			if got := inc.Engine().QualityOf(i); got != want {
+				t.Fatalf("%s: resource %d quality %.17g != full-scan %.17g", name, i, got, want)
+			}
+		}
+	}
+}
+
 func TestRunSpendsExactBudget(t *testing.T) {
 	d := testData(t, 20, 6)
 	st := NewState(d, 5, 1)

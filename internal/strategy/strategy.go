@@ -126,8 +126,6 @@ func (q *lazyPQ) pop() (int, bool) {
 // permanently removing the resource until a future push.
 func (q *lazyPQ) invalidate(id int) { q.version[id]++ }
 
-func (q *lazyPQ) empty() bool { return q.h.Len() == 0 }
-
 // validateEnv panics early on a nil environment; all strategies share it.
 func validateEnv(env Env) {
 	if env == nil {

@@ -284,7 +284,7 @@ func TestLazyPQ(t *testing.T) {
 	if _, ok := q.pop(); ok {
 		t.Error("pop from drained queue succeeded")
 	}
-	if !q.empty() {
+	if q.h.Len() != 0 {
 		t.Error("queue not empty after drain")
 	}
 }
