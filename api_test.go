@@ -340,3 +340,103 @@ func TestStrategyNamesFacade(t *testing.T) {
 		}
 	}
 }
+
+// Batched ingest through the Service facade must agree with per-post
+// ingest: same final metrics, same WAL record count, batches safe from
+// many goroutines.
+func TestServiceBatchIngest(t *testing.T) {
+	ds := testDS(t)
+	walDir := t.TempDir()
+	batched, err := NewService(ds, ServiceOptions{Strategy: "FP", WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	sequential, err := NewService(ds, ServiceOptions{Strategy: "FP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sequential.Close()
+
+	const perResource = 4
+	var events []PostEvent
+	for i := 0; i < ds.N(); i++ {
+		r := &ds.Resources[i]
+		for k := r.Initial; k < r.Initial+perResource && k < len(r.Seq); k++ {
+			events = append(events, PostEvent{Resource: i, Post: r.Seq[k]})
+		}
+	}
+	for _, ev := range events {
+		if err := sequential.Ingest(ev.Resource, ev.Post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workers own resource stripes, so per-resource order is preserved.
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []PostEvent
+			for _, ev := range events {
+				if ev.Resource%workers != w {
+					continue
+				}
+				buf = append(buf, ev)
+				if len(buf) == 50 {
+					if err := batched.IngestMany(buf); err != nil {
+						t.Error(err)
+					}
+					buf = buf[:0]
+				}
+			}
+			if len(buf) > 0 {
+				if err := batched.IngestMany(buf); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mb, ms := batched.Snapshot(), sequential.Snapshot()
+	if mb.Posts != ms.Posts || mb.Spent != ms.Spent || mb.OverTagged != ms.OverTagged ||
+		mb.UnderTagged != ms.UnderTagged || mb.WastedPosts != ms.WastedPosts {
+		t.Fatalf("batched metrics diverge:\n%+v\n%+v", mb, ms)
+	}
+	if diff := mb.MeanQuality - ms.MeanQuality; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean quality %.17g vs %.17g", mb.MeanQuality, ms.MeanQuality)
+	}
+
+	// One IngestBatch on a single resource.
+	i := 0
+	r := &ds.Resources[i]
+	var posts []Post
+	for k := batched.Count(i); k < len(r.Seq) && len(posts) < 3; k++ {
+		posts = append(posts, r.Seq[k])
+	}
+	if len(posts) > 0 {
+		before := batched.Count(i)
+		if err := batched.IngestBatch(i, posts); err != nil {
+			t.Fatal(err)
+		}
+		if batched.Count(i) != before+len(posts) {
+			t.Fatal("IngestBatch count wrong")
+		}
+	}
+
+	// The WAL holds every batched record.
+	want := int64(len(events) + len(posts))
+	if err := batched.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := tagstore.Open(walDir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if wal.Records() != want {
+		t.Fatalf("wal has %d records, want %d", wal.Records(), want)
+	}
+}

@@ -368,3 +368,34 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving ingest path: per-post map baseline vs batched dense --------
+// Small-scale companions of cmd/tagbench's ingest suite (which runs the
+// full n=2000 scenario); one op is a full pass of the corpus's future
+// posts through a live engine. See BENCH_engine.json for the tracked
+// full-scale numbers.
+
+func benchIngest(b *testing.B, dense bool, batch, workers int) {
+	data, err := benchkit.Corpus(400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := benchkit.FutureEvents(data)
+	parts := benchkit.Partition(events, workers)
+	eng, err := benchkit.BuildEngine(data, 0, dense, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := benchkit.RunIngest(eng, parts, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(events)), "ns/post")
+}
+
+func BenchmarkIngestBaselinePerPost(b *testing.B)   { benchIngest(b, false, 1, 1) }
+func BenchmarkIngestDenseBatch(b *testing.B)        { benchIngest(b, true, 256, 1) }
+func BenchmarkIngestDenseBatchWorkers(b *testing.B) { benchIngest(b, true, 256, 4) }

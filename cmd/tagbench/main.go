@@ -4,13 +4,25 @@
 //
 // Usage:
 //
-//	tagbench [-n 2000] [-budget 10000] [-every 100] [-seed 1] [-out BENCH_engine.json]
+//	tagbench [-n 2000] [-budget 10000] [-every 100] [-seed 1]
+//	         [-batch 256] [-out BENCH_engine.json]
 //
-// The scenario is the checkpoint-dense Figure-6 shape: one strategy run
-// of the full budget, snapshotting metrics every -every spent units.
-// Both snapshot paths run under the testing.Benchmark harness — the
-// engine's O(1) incremental read and the seed's O(n·|tags|) full scan —
-// and the report records their ns/op plus the speedup ratio.
+// Two scenario families run:
+//
+//   - the checkpoint-dense Figure-6 shape: one strategy run of the full
+//     budget, snapshotting metrics every -every spent units, under the
+//     testing.Benchmark harness for both snapshot paths (the engine's
+//     O(1) incremental read and the seed's O(n·|tags|) full scan);
+//   - the serving ingest path: every recorded future post of the corpus
+//     streamed into a live engine, comparing the per-post map-backed
+//     hot path (the PR 1 baseline) against the batched dense pipeline
+//     (hybrid dense counts + IngestMany + group-commit WAL), including
+//     a multi-goroutine throughput matrix over shard and worker counts
+//     and allocations-per-post from runtime.MemStats.
+//
+// Before any timing, both ingest representations run one checked pass:
+// integer metrics must match exactly and per-resource qualities must be
+// bit-identical, or the benchmark aborts.
 package main
 
 import (
@@ -18,12 +30,68 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"incentivetag/internal/benchkit"
+	"incentivetag/internal/engine"
+	"incentivetag/internal/sim"
+	"incentivetag/internal/tagstore"
 )
+
+// IngestPoint is one cell of the multi-goroutine throughput matrix.
+type IngestPoint struct {
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	PostsPerSec float64 `json:"posts_per_sec"`
+}
+
+// IngestReport captures the serving-path ingest benchmarks. "Baseline"
+// is the PR 1 hot path: per-post Ingest over map-backed counts.
+// "DenseBatch" is the batched pipeline: hybrid dense counts ingested
+// through IngestMany. Both run on two stream shapes: "scan" (round-robin
+// across resources — the cache-adversarial extreme, every post touches a
+// cold resource) and "burst" (resource-major — the cache-friendly
+// extreme of bursty live traffic). WAL variants add a durable tagstore
+// log (per-post appends vs group commit). Bytes/allocs per post are
+// process-wide runtime.MemStats deltas over one single-threaded pass of
+// the full scan stream against a freshly built engine.
+//
+// The pr1_* fields are the PR 1-style engine numbers measured in the
+// same process: the fig6 checkpoint run (which is how PR 1 recorded
+// engine cost — per-run construction plus per-post ingest plus O(1)
+// checkpoints) normalized per post. dense_batch_vs_pr1_* compare the new
+// serving pipeline against them on the same machine and corpus.
+type IngestReport struct {
+	Posts     int `json:"posts"`
+	BatchSize int `json:"batch_size"`
+
+	ScanBaselinePostsPerSec   float64 `json:"scan_baseline_posts_per_sec"`
+	ScanDenseBatchPostsPerSec float64 `json:"scan_dense_batch_posts_per_sec"`
+	ScanSpeedup               float64 `json:"scan_speedup"`
+
+	BurstBaselinePostsPerSec   float64 `json:"burst_baseline_posts_per_sec"`
+	BurstDenseBatchPostsPerSec float64 `json:"burst_dense_batch_posts_per_sec"`
+	BurstSpeedup               float64 `json:"burst_speedup"`
+
+	BaselineBytesPerPost    float64 `json:"baseline_bytes_per_post"`
+	BaselineAllocsPerPost   float64 `json:"baseline_allocs_per_post"`
+	DenseBatchBytesPerPost  float64 `json:"dense_batch_bytes_per_post"`
+	DenseBatchAllocsPerPost float64 `json:"dense_batch_allocs_per_post"`
+
+	WALBaselinePostsPerSec    float64 `json:"wal_baseline_posts_per_sec"`
+	WALGroupCommitPostsPerSec float64 `json:"wal_group_commit_posts_per_sec"`
+	WALSpeedup                float64 `json:"wal_speedup"`
+
+	Throughput []IngestPoint `json:"throughput"`
+
+	PR1PostsPerSec      float64 `json:"pr1_fig6_posts_per_sec"`
+	PR1BytesPerPost     float64 `json:"pr1_fig6_bytes_per_post"`
+	VsPR1Throughput     float64 `json:"dense_batch_vs_pr1_throughput"`
+	VsPR1AllocReduction float64 `json:"dense_batch_vs_pr1_alloc_reduction"`
+}
 
 // Report is the schema of BENCH_engine.json.
 type Report struct {
@@ -49,6 +117,139 @@ type Report struct {
 	FinalMeanQuality float64 `json:"final_mean_quality"`
 	FinalOverTagged  int     `json:"final_over_tagged"`
 	FinalWastedPosts int     `json:"final_wasted_posts"`
+
+	Ingest IngestReport `json:"ingest"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tagbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// ingestEngine builds a fresh serving engine (and its optional WAL).
+func ingestEngine(data *sim.Data, shards int, dense bool, walDir string) (*engine.Engine, *tagstore.Store) {
+	var wal *tagstore.Store
+	if walDir != "" {
+		var err error
+		wal, err = tagstore.Open(walDir, tagstore.Options{})
+		if err != nil {
+			fail("wal: %v", err)
+		}
+	}
+	eng, err := benchkit.BuildEngine(data, shards, dense, wal)
+	if err != nil {
+		fail("engine: %v", err)
+	}
+	return eng, wal
+}
+
+// onePass ingests the full event stream once, returning elapsed time and
+// the process alloc deltas of the pass.
+func onePass(eng *engine.Engine, parts [][]engine.PostEvent, batch int) (time.Duration, uint64, uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	if err := benchkit.RunIngest(eng, parts, batch); err != nil {
+		fail("ingest: %v", err)
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.TotalAlloc - m0.TotalAlloc, m1.Mallocs - m0.Mallocs
+}
+
+// throughput repeats full passes of the event stream until the
+// measurement is at least minDur long, returning posts/sec. The engine
+// keeps absorbing the same stream (counts simply keep growing), which is
+// the steady-state shape the serving path sees.
+func throughput(data *sim.Data, events []engine.PostEvent, shards, workers, batch int, dense bool, walDir string, minDur time.Duration) float64 {
+	eng, wal := ingestEngine(data, shards, dense, walDir)
+	defer func() {
+		if wal != nil {
+			wal.Close()
+		}
+	}()
+	parts := benchkit.Partition(events, workers)
+	var elapsed time.Duration
+	posts := 0
+	for pass := 0; elapsed < minDur && pass < 50; pass++ {
+		t0 := time.Now()
+		if err := benchkit.RunIngest(eng, parts, batch); err != nil {
+			fail("ingest: %v", err)
+		}
+		elapsed += time.Since(t0)
+		posts += len(events)
+	}
+	return float64(posts) / elapsed.Seconds()
+}
+
+// runIngestBenchmarks measures the serving ingest path and fills the
+// IngestReport.
+func runIngestBenchmarks(data *sim.Data, batch int) IngestReport {
+	scan := benchkit.FutureEvents(data)
+	burst := benchkit.BurstEvents(data)
+	single := benchkit.Partition(scan, 1)
+	rep := IngestReport{Posts: len(scan), BatchSize: batch}
+
+	// Checked pass: the dense batched pipeline must reproduce the
+	// baseline bit for bit before any timing is worth reporting. These
+	// same passes provide the allocation metrics.
+	baseEng, _ := ingestEngine(data, engine.DefaultShards, false, "")
+	elapsed, bBytes, bAllocs := onePass(baseEng, single, 1)
+	fmt.Fprintf(os.Stderr, "tagbench: baseline pass %v (%d posts)\n", elapsed, len(scan))
+	denseEng, _ := ingestEngine(data, engine.DefaultShards, true, "")
+	elapsed, dBytes, dAllocs := onePass(denseEng, single, batch)
+	fmt.Fprintf(os.Stderr, "tagbench: dense batched pass %v\n", elapsed)
+	mb, md := baseEng.Snapshot(), denseEng.Snapshot()
+	if mb.Posts != md.Posts || mb.Spent != md.Spent || mb.OverTagged != md.OverTagged ||
+		mb.UnderTagged != md.UnderTagged || mb.WastedPosts != md.WastedPosts {
+		fail("ingest paths diverge: %+v vs %+v", mb, md)
+	}
+	for i := 0; i < baseEng.N(); i++ {
+		if baseEng.QualityOf(i) != denseEng.QualityOf(i) {
+			fail("resource %d quality diverges between representations", i)
+		}
+	}
+	n := float64(len(scan))
+	rep.BaselineBytesPerPost = float64(bBytes) / n
+	rep.BaselineAllocsPerPost = float64(bAllocs) / n
+	rep.DenseBatchBytesPerPost = float64(dBytes) / n
+	rep.DenseBatchAllocsPerPost = float64(dAllocs) / n
+
+	// Single-thread throughput, no WAL, both stream shapes.
+	const minDur = 800 * time.Millisecond
+	rep.ScanBaselinePostsPerSec = throughput(data, scan, engine.DefaultShards, 1, 1, false, "", minDur)
+	rep.ScanDenseBatchPostsPerSec = throughput(data, scan, engine.DefaultShards, 1, batch, true, "", minDur)
+	rep.ScanSpeedup = rep.ScanDenseBatchPostsPerSec / rep.ScanBaselinePostsPerSec
+	rep.BurstBaselinePostsPerSec = throughput(data, burst, engine.DefaultShards, 1, 1, false, "", minDur)
+	rep.BurstDenseBatchPostsPerSec = throughput(data, burst, engine.DefaultShards, 1, batch, true, "", minDur)
+	rep.BurstSpeedup = rep.BurstDenseBatchPostsPerSec / rep.BurstBaselinePostsPerSec
+	fmt.Fprintf(os.Stderr, "tagbench: single-thread scan %.0f → %.0f posts/sec (%.2fx), burst %.0f → %.0f (%.2fx)\n",
+		rep.ScanBaselinePostsPerSec, rep.ScanDenseBatchPostsPerSec, rep.ScanSpeedup,
+		rep.BurstBaselinePostsPerSec, rep.BurstDenseBatchPostsPerSec, rep.BurstSpeedup)
+
+	// Durable variants: per-post WAL appends vs group commit.
+	tmp, err := os.MkdirTemp("", "tagbench-wal-*")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+	rep.WALBaselinePostsPerSec = throughput(data, scan, engine.DefaultShards, 1, 1, false, filepath.Join(tmp, "per-post"), minDur)
+	rep.WALGroupCommitPostsPerSec = throughput(data, scan, engine.DefaultShards, 1, batch, true, filepath.Join(tmp, "group"), minDur)
+	rep.WALSpeedup = rep.WALGroupCommitPostsPerSec / rep.WALBaselinePostsPerSec
+	fmt.Fprintf(os.Stderr, "tagbench: with WAL %.0f → %.0f posts/sec (%.2fx)\n",
+		rep.WALBaselinePostsPerSec, rep.WALGroupCommitPostsPerSec, rep.WALSpeedup)
+
+	// Multi-goroutine matrix: batched dense pipeline across shard and
+	// worker counts, on the scan stream.
+	for _, shards := range []int{1, 4, 8, 16} {
+		for _, workers := range []int{1, 4, 16} {
+			pps := throughput(data, scan, shards, workers, batch, true, "", 500*time.Millisecond)
+			rep.Throughput = append(rep.Throughput, IngestPoint{Shards: shards, Workers: workers, PostsPerSec: pps})
+			fmt.Fprintf(os.Stderr, "tagbench: shards=%-2d workers=%-2d %.0f posts/sec\n", shards, workers, pps)
+		}
+	}
+	return rep
 }
 
 func main() {
@@ -56,6 +257,7 @@ func main() {
 	budget := flag.Int("budget", 0, "total budget (0 = scenario default)")
 	every := flag.Int("every", 0, "checkpoint interval in spent units (0 = scenario default)")
 	seed := flag.Int64("seed", 0, "corpus/run seed (0 = scenario default)")
+	batch := flag.Int("batch", 256, "ingest batch size for the batched pipeline")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
 	flag.Parse()
 
@@ -76,28 +278,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: generating corpus n=%d seed=%d\n", sc.N, sc.Seed)
 	data, err := benchkit.Corpus(sc.N, sc.Seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	// One warm, checked run of each path: the structural metrics must
 	// agree before any timing is worth reporting.
 	incCps, err := benchkit.Run(data, sc, false)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tagbench: engine run: %v\n", err)
-		os.Exit(1)
+		fail("engine run: %v", err)
 	}
 	refCps, err := benchkit.Run(data, sc, true)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tagbench: full-scan run: %v\n", err)
-		os.Exit(1)
+		fail("full-scan run: %v", err)
 	}
 	for k := range incCps {
 		a, b := incCps[k], refCps[k]
 		if a.Budget != b.Budget || a.OverTagged != b.OverTagged ||
 			a.UnderTagged != b.UnderTagged || a.WastedPosts != b.WastedPosts {
-			fmt.Fprintf(os.Stderr, "tagbench: checkpoint %d mismatch between paths: %+v vs %+v\n", k, a, b)
-			os.Exit(1)
+			fail("checkpoint %d mismatch between paths: %+v vs %+v", k, a, b)
 		}
 	}
 
@@ -120,6 +318,19 @@ func main() {
 		}
 	})
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking serving ingest path (batch=%d)\n", *batch)
+	ingest := runIngestBenchmarks(data, *batch)
+
+	// PR 1-style engine numbers, measured in this same process: the fig6
+	// checkpoint run normalized per post (construction + ingest +
+	// checkpoints — the only per-post engine cost PR 1 recorded).
+	ingest.PR1PostsPerSec = float64(sc.Budget) / (float64(eng.NsPerOp()) / 1e9)
+	ingest.PR1BytesPerPost = float64(eng.AllocedBytesPerOp()) / float64(sc.Budget)
+	ingest.VsPR1Throughput = ingest.ScanDenseBatchPostsPerSec / ingest.PR1PostsPerSec
+	if ingest.DenseBatchBytesPerPost > 0 {
+		ingest.VsPR1AllocReduction = ingest.PR1BytesPerPost / ingest.DenseBatchBytesPerPost
+	}
+
 	final := incCps[len(incCps)-1]
 	rep := Report{
 		Timestamp:        time.Now().UTC().Format(time.RFC3339),
@@ -141,22 +352,22 @@ func main() {
 		FinalMeanQuality: final.MeanQuality,
 		FinalOverTagged:  final.OverTagged,
 		FinalWastedPosts: final.WastedPosts,
+		Ingest:           ingest,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
 	} else {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "tagbench: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "tagbench: engine %v/op, full-scan %v/op — %.1fx speedup\n",
-		time.Duration(eng.NsPerOp()), time.Duration(ref.NsPerOp()), rep.Speedup)
+	fmt.Fprintf(os.Stderr, "tagbench: engine %v/op, full-scan %v/op — %.1fx checkpoint speedup; ingest %.2fx scan / %.2fx burst single-thread like-for-like, %.1fx throughput and %.1fx fewer alloc bytes/post vs the PR 1 fig6 pipeline\n",
+		time.Duration(eng.NsPerOp()), time.Duration(ref.NsPerOp()), rep.Speedup,
+		ingest.ScanSpeedup, ingest.BurstSpeedup, ingest.VsPR1Throughput, ingest.VsPR1AllocReduction)
 }

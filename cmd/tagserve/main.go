@@ -7,12 +7,19 @@
 //
 // Usage:
 //
-//	tagserve [-n 1000] [-workers 8] [-shards 0] [-posts 0] [-budget 0]
-//	         [-strategy FP-MU] [-wal DIR] [-seed 1] [-report 250ms]
+//	tagserve [-n 1000] [-workers 8] [-shards 0] [-batch 256] [-posts 0]
+//	         [-budget 0] [-strategy FP-MU] [-wal DIR] [-seed 1]
+//	         [-report 250ms]
 //
-// -posts caps the organic ingest volume (0 = every recorded future
-// post); -budget > 0 additionally runs the incentive loop after the
-// organic phase. The run summary is printed to stdout as JSON.
+// Workers buffer up to -batch posts from their resource stripe and hand
+// them to the engine through IngestMany — one shard-lock acquisition and
+// one group-committed WAL write per shard per batch (-batch 1 falls back
+// to per-post Ingest). -posts caps the organic ingest volume (0 = every
+// recorded future post); -budget > 0 additionally runs the incentive
+// loop after the organic phase. The run summary — including end-of-run
+// ingest throughput and runtime.MemStats allocation counters, so
+// load-driver runs are comparable across PRs — is printed to stdout as
+// JSON.
 package main
 
 import (
@@ -32,10 +39,17 @@ type summary struct {
 	N       int `json:"n"`
 	Workers int `json:"workers"`
 	Shards  int `json:"shards"`
+	Batch   int `json:"batch"`
 
 	OrganicPosts   int     `json:"organic_posts"`
 	OrganicMillis  int64   `json:"organic_ms"`
 	PostsPerSecond float64 `json:"posts_per_sec"`
+
+	// Process-wide allocation deltas over the organic phase
+	// (runtime.MemStats), normalized per ingested post.
+	AllocBytesPerPost float64 `json:"alloc_bytes_per_post"`
+	AllocsPerPost     float64 `json:"allocs_per_post"`
+	GCCycles          uint32  `json:"gc_cycles"`
 
 	AllocatedTasks int   `json:"allocated_tasks"`
 	AllocateMillis int64 `json:"allocate_ms"`
@@ -51,6 +65,7 @@ func main() {
 	n := flag.Int("n", 1000, "resource count of the synthetic corpus")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent ingest goroutines")
 	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	batch := flag.Int("batch", 256, "posts per IngestMany batch (1 = per-post Ingest)")
 	posts := flag.Int("posts", 0, "organic posts to ingest (0 = all recorded future posts)")
 	budget := flag.Int("budget", 0, "incentive budget to spend after the organic phase")
 	stratName := flag.String("strategy", "FP-MU", "allocation strategy for -budget")
@@ -122,8 +137,14 @@ func main() {
 	}
 
 	// Organic phase: workers stream recorded posts across their resource
-	// stripes until the cap is hit or the replay is exhausted.
+	// stripes, buffering up to -batch events per IngestMany call, until
+	// the cap is hit or the replay is exhausted. Striping by resource
+	// keeps each resource's post order intact regardless of how workers
+	// interleave.
 	var ingested int64
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -143,6 +164,17 @@ func main() {
 					}
 				}
 			}
+			buf := make([]incentivetag.PostEvent, 0, *batch)
+			flush := func() {
+				if len(buf) == 0 {
+					return
+				}
+				if err := svc.IngestMany(buf); err != nil {
+					fmt.Fprintf(os.Stderr, "tagserve: ingest: %v\n", err)
+					os.Exit(1)
+				}
+				buf = buf[:0]
+			}
 			for {
 				progress := false
 				for i := w; i < ds.N(); i += *workers {
@@ -151,15 +183,24 @@ func main() {
 						continue
 					}
 					if !reserve() {
+						flush()
 						return
 					}
-					if err := svc.Ingest(i, p); err != nil {
-						fmt.Fprintf(os.Stderr, "tagserve: ingest: %v\n", err)
-						os.Exit(1)
+					if *batch <= 1 {
+						if err := svc.Ingest(i, p); err != nil {
+							fmt.Fprintf(os.Stderr, "tagserve: ingest: %v\n", err)
+							os.Exit(1)
+						}
+					} else {
+						buf = append(buf, incentivetag.PostEvent{Resource: i, Post: p})
+						if len(buf) >= *batch {
+							flush()
+						}
 					}
 					progress = true
 				}
 				if !progress {
+					flush()
 					return
 				}
 			}
@@ -167,6 +208,7 @@ func main() {
 	}
 	wg.Wait()
 	organicElapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
 	// Incentive phase: single allocation loop over the live engine.
 	allocated := 0
@@ -197,9 +239,11 @@ func main() {
 		N:                   ds.N(),
 		Workers:             *workers,
 		Shards:              *shards,
+		Batch:               *batch,
 		OrganicPosts:        int(ingested),
 		OrganicMillis:       organicElapsed.Milliseconds(),
 		PostsPerSecond:      float64(ingested) / organicElapsed.Seconds(),
+		GCCycles:            m1.NumGC - m0.NumGC,
 		AllocatedTasks:      allocated,
 		AllocateMillis:      allocElapsed.Milliseconds(),
 		FinalMeanQuality:    m.MeanQuality,
@@ -207,6 +251,10 @@ func main() {
 		FinalUnderTaggedPct: m.UnderTaggedPct,
 		FinalWastedPosts:    m.WastedPosts,
 		WALDir:              *walDir,
+	}
+	if ingested > 0 {
+		out.AllocBytesPerPost = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ingested)
+		out.AllocsPerPost = float64(m1.Mallocs-m0.Mallocs) / float64(ingested)
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -35,6 +35,30 @@
 //     by incrementally maintained quality sums — with an optional
 //     crash-safe write-ahead post log (ServiceOptions.WALDir).
 //
+// # Hot path & batching
+//
+// The serving ingest pipeline is allocation-free and batch-friendly:
+//
+//   - count vectors use a hybrid dense/map representation — tag ids
+//     below sparse.DenseTagCap live in a dense array (pure indexing,
+//     zero map traffic), the rare large ids (typo tails) spill to a
+//     map; the map form remains the reference implementation and both
+//     are bit-identical in every derived metric;
+//   - each resource's stable reference rfd is pre-extracted once into a
+//     shared dense lookup (quality.RefVector), so the incremental
+//     quality dot product is array indexing too;
+//   - Service.IngestBatch and Service.IngestMany apply whole batches
+//     under one shard-lock acquisition per shard, group-committing each
+//     shard's WAL records with a single store write while preserving
+//     the per-resource record order per-post Ingest would produce —
+//     recovery semantics are unchanged, and the resulting state is
+//     bit-identical to one-at-a-time ingestion.
+//
+// cmd/tagbench measures the pipeline (single-thread baseline vs batched
+// dense, a shards×workers throughput matrix, allocations per post, WAL
+// group-commit gains) and records it in BENCH_engine.json; README.md
+// documents the report's fields.
+//
 // # Quick start
 //
 //	ds, _ := incentivetag.Generate(incentivetag.DefaultConfig(500, 1))

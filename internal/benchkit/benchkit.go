@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sync"
 
+	"incentivetag/internal/engine"
 	"incentivetag/internal/sim"
 	"incentivetag/internal/strategy"
 	"incentivetag/internal/synth"
+	"incentivetag/internal/tagstore"
 )
 
 // Scenario sizes one checkpoint-dense run.
@@ -87,4 +89,117 @@ func Run(data *sim.Data, sc Scenario, reference bool) ([]sim.Checkpoint, error) 
 		return nil, fmt.Errorf("benchkit: no checkpoints recorded")
 	}
 	return cps, nil
+}
+
+// --- ingest-throughput scenario -----------------------------------------
+//
+// The serving-path benchmark: stream every recorded future post of the
+// corpus into a live engine, comparing the PR 1 hot path (per-post
+// Ingest, map-backed counts) against the batched dense pipeline
+// (IngestMany, hybrid dense counts, group-commit WAL).
+
+// BuildEngine constructs a serving engine over the replay corpus.
+// dense=true declares the dataset's tag universe, switching every count
+// vector to the hybrid dense representation; false keeps the map-backed
+// reference representation (the PR 1 baseline). wal may be nil.
+func BuildEngine(data *sim.Data, shards int, dense bool, wal *tagstore.Store) (*engine.Engine, error) {
+	universe := 0
+	if dense {
+		universe = data.TagUniverse
+	}
+	return engine.New(engine.Config{
+		Omega:          5,
+		Shards:         shards,
+		UnderThreshold: data.UnderThreshold,
+		TagUniverse:    universe,
+		WAL:            wal,
+	}, data.EngineSpecs())
+}
+
+// FutureEvents flattens every resource's future (non-primed) posts into
+// one deterministic round-robin interleave — the organic traffic stream
+// of the ingest benchmarks. This "scan" shape is the cache-adversarial
+// extreme: consecutive posts always target different resources, so every
+// post touches cold per-resource state.
+func FutureEvents(data *sim.Data) []engine.PostEvent {
+	var events []engine.PostEvent
+	for k := 0; ; k++ {
+		progress := false
+		for i := 0; i < data.N(); i++ {
+			at := data.Initial[i] + k
+			if at < len(data.Seqs[i]) {
+				events = append(events, engine.PostEvent{Resource: i, Post: data.Seqs[i][at]})
+				progress = true
+			}
+		}
+		if !progress {
+			return events
+		}
+	}
+}
+
+// BurstEvents flattens the future posts resource-major (all of r0's,
+// then r1's, ...) — the cache-friendly extreme, approximating the bursty
+// per-resource arrival pattern of popularity-skewed live traffic. Real
+// workloads fall between BurstEvents and FutureEvents.
+func BurstEvents(data *sim.Data) []engine.PostEvent {
+	var events []engine.PostEvent
+	for i := 0; i < data.N(); i++ {
+		for k := data.Initial[i]; k < len(data.Seqs[i]); k++ {
+			events = append(events, engine.PostEvent{Resource: i, Post: data.Seqs[i][k]})
+		}
+	}
+	return events
+}
+
+// Partition stripes events across workers by resource id, so each
+// resource's post order is preserved no matter how workers interleave.
+func Partition(events []engine.PostEvent, workers int) [][]engine.PostEvent {
+	parts := make([][]engine.PostEvent, workers)
+	for _, ev := range events {
+		w := ev.Resource % workers
+		parts[w] = append(parts[w], ev)
+	}
+	return parts
+}
+
+// RunIngest drives the partitioned event stream into eng from one
+// goroutine per partition. batch ≤ 1 uses per-post Ingest (the baseline
+// hot path); larger batches use IngestMany in chunks of that size.
+func RunIngest(eng *engine.Engine, parts [][]engine.PostEvent, batch int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(parts))
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			events := parts[w]
+			if batch <= 1 {
+				for _, ev := range events {
+					if err := eng.Ingest(ev.Resource, ev.Post); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				return
+			}
+			for k := 0; k < len(events); k += batch {
+				end := k + batch
+				if end > len(events) {
+					end = len(events)
+				}
+				if err := eng.IngestMany(events[k:end]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

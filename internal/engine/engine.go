@@ -16,6 +16,19 @@
 //     are maintained as shard-local deltas, making Snapshot an
 //     O(S) read instead of the seed's O(n·|tags|) scan per checkpoint.
 //
+// # Hot path
+//
+// The per-post ingest pipeline is allocation-free in steady state: with
+// Config.TagUniverse declared, count vectors use the hybrid dense/map
+// representation (sparse.NewHybridCounts) and each resource's reference
+// rfd is pre-extracted into a shared dense lookup (quality.RefVector),
+// so the inner loop is array indexing with no map traffic. IngestBatch
+// and IngestMany amortize the shard lock over whole batches and
+// group-commit each shard's WAL records with a single store write
+// (tagstore.Batch), framed under the shard lock so the log's
+// per-resource order always matches apply order — batched ingestion is
+// bit-identical to per-post ingestion, including crash recovery.
+//
 // # Exactness
 //
 // The incremental quality is not an approximation. Both the count
@@ -61,6 +74,16 @@ type Config struct {
 	// the paper uses 10). Resources with Count ≤ UnderThreshold are
 	// counted as under-tagged; a negative value disables the metric.
 	UnderThreshold int
+	// TagUniverse, when > 0, is the tag-universe bound |T| (typically
+	// Vocab.Size()). It switches every resource's count vector to the
+	// hybrid dense/map representation (sparse.NewHybridCounts), making
+	// the per-post count update an array index with zero map traffic and
+	// zero steady-state allocation. 0 keeps the map-backed reference
+	// representation (bit-identical metrics, minimal memory) — the replay
+	// simulator's choice. Each hybrid vector's dense base costs up to
+	// 4·DenseTagCap bytes per resource, the deliberate space-for-time
+	// trade of the serving path.
+	TagUniverse int
 	// WAL, when non-nil, is an append-only post log every ingested post
 	// is written to before it mutates engine state (the durable
 	// write-ahead path of a serving deployment). The engine serializes
@@ -126,8 +149,14 @@ type Metrics struct {
 type resource struct {
 	tracker *stability.Tracker
 	// ref fields are pre-extracted from the spec's Reference so the hot
-	// path never chases the wrapper.
+	// path never chases the wrapper. refDense/refSpill come from the
+	// Reference's cached RefVector (shared across engine instances):
+	// refDense[t] is the reference count for small tag ids, refSpill the
+	// rare large-id fallback, so the per-post dot update is pure array
+	// indexing for pool tags.
 	refCounts *sparse.Counts
+	refDense  []int32
+	refSpill  map[tags.Tag]int64
 	refNorm2  float64
 	refPosts  int
 	stableK   int
@@ -175,6 +204,12 @@ type shard struct {
 	mu  sync.Mutex
 	res []*resource // local index l ↔ global index l*S + shardID
 
+	// walBatch is the shard's reusable group-commit buffer: batch ingest
+	// frames all of a shard-batch's WAL records here under the shard
+	// lock, then commits them with one store write under the engine's
+	// WAL mutex.
+	walBatch tagstore.Batch
+
 	// Aggregates, maintained as deltas on every ingest.
 	qsum, qcomp float64 // Neumaier-compensated Σ q_i over local resources
 	over        int
@@ -218,6 +253,9 @@ func New(cfg Config, specs []ResourceSpec) (*Engine, error) {
 		return nil, fmt.Errorf("engine: omega must be ≥ 2, got %d", cfg.Omega)
 	}
 	n := len(specs)
+	if cfg.WAL != nil && !walCapacityOK(n) {
+		return nil, fmt.Errorf("engine: %d resources overflow the WAL's 32-bit record ids", n)
+	}
 	e := &Engine{cfg: cfg, n: n, shards: make([]*shard, cfg.Shards)}
 	for s := range e.shards {
 		e.shards[s] = &shard{}
@@ -233,7 +271,7 @@ func New(cfg Config, specs []ResourceSpec) (*Engine, error) {
 			return nil, fmt.Errorf("engine: resource %d: negative cost %d", i, spec.Cost)
 		}
 		r := &resource{
-			tracker: stability.NewTracker(cfg.Omega),
+			tracker: newTracker(cfg),
 			stableK: spec.StableK,
 			cost:    spec.Cost,
 		}
@@ -245,12 +283,12 @@ func New(cfg Config, specs []ResourceSpec) (*Engine, error) {
 			r.refCounts = rc
 			r.refNorm2 = rc.Norm2()
 			r.refPosts = rc.Posts()
+			v := spec.Ref.Vector()
+			r.refDense, r.refSpill = v.Dense, v.Spill
 		}
 		for _, p := range spec.Initial {
 			if r.refCounts != nil {
-				for _, t := range p {
-					r.dot += r.refCounts.Get(t)
-				}
+				r.addDot(p)
 			}
 			r.tracker.Observe(p)
 		}
@@ -268,6 +306,39 @@ func New(cfg Config, specs []ResourceSpec) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// newTracker builds a resource tracker: hybrid dense/map counts when the
+// tag universe is declared, map-backed reference counts otherwise.
+func newTracker(cfg Config) *stability.Tracker {
+	if cfg.TagUniverse > 0 {
+		return stability.NewTrackerSized(cfg.Omega, cfg.TagUniverse)
+	}
+	return stability.NewTracker(cfg.Omega)
+}
+
+// addDot folds one post into the maintained reference dot product. Tag
+// ids below the dense bound are array lookups; ids outside it (the rare
+// typo tail, or malformed negative ids) hit the spill map, which is a
+// safe lookup for any key. Bit-identical to refCounts.Get term by term —
+// every term is an integer.
+func (r *resource) addDot(p tags.Post) {
+	rd := r.refDense
+	for _, t := range p {
+		if ti := int(t); ti >= 0 && ti < len(rd) {
+			r.dot += int64(rd[ti])
+		} else if r.refSpill != nil {
+			r.dot += r.refSpill[t]
+		}
+	}
+}
+
+// walCapacityOK reports whether n resources fit the WAL's 32-bit record
+// ids. New rejects WAL-configured engines beyond it, which is what makes
+// the plain uint32 casts on the ingest paths safe: every ingested index
+// is validated against [0, n) first, so no index can silently truncate.
+func walCapacityOK(n int) bool {
+	return uint64(n) <= uint64(math.MaxUint32)+1
 }
 
 // N returns the number of resources.
@@ -300,13 +371,164 @@ func (e *Engine) Ingest(i int, p tags.Post) error {
 	defer sh.mu.Unlock()
 	if e.cfg.WAL != nil {
 		e.walMu.Lock()
-		err := e.cfg.WAL.Append(uint32(i), p)
+		err := e.cfg.WAL.Append(uint32(i), p) // cast safe: New enforces walCapacityOK
 		e.walMu.Unlock()
 		if err != nil {
 			return fmt.Errorf("engine: wal: %w", err)
 		}
 	}
 	sh.applyLocked(sh.res[l], p, e.cfg.UnderThreshold)
+	return nil
+}
+
+// IngestBatch applies a batch of posts to resource i, taking the shard
+// lock once and group-committing the batch's WAL records with a single
+// store write. Record order in the WAL matches apply order, so recovery
+// semantics are identical to per-post Ingest; the resulting engine state
+// is bit-identical to ingesting the posts one at a time.
+func (e *Engine) IngestBatch(i int, posts []tags.Post) error {
+	if i < 0 || i >= e.n {
+		return fmt.Errorf("engine: resource index %d out of range [0,%d)", i, e.n)
+	}
+	for k, p := range posts {
+		if len(p) == 0 {
+			return fmt.Errorf("engine: empty post %d for resource %d", k, i)
+		}
+	}
+	if len(posts) == 0 {
+		return nil
+	}
+	sh, l := e.locate(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.cfg.WAL != nil {
+		for _, p := range posts {
+			if err := sh.walBatch.Add(uint32(i), p); err != nil {
+				sh.walBatch.Reset()
+				return fmt.Errorf("engine: wal: %w", err)
+			}
+		}
+		if err := e.commitWALBatch(sh); err != nil {
+			return err
+		}
+	}
+	r := sh.res[l]
+	for _, p := range posts {
+		sh.applyLocked(r, p, e.cfg.UnderThreshold)
+	}
+	return nil
+}
+
+// PostEvent is one element of a cross-resource ingest batch.
+type PostEvent struct {
+	// Resource is the target resource index.
+	Resource int
+	// Post is the post to ingest.
+	Post tags.Post
+}
+
+// IngestMany applies a batch of posts spanning arbitrary resources. The
+// events are partitioned by shard; each shard's lock is taken exactly
+// once, its WAL records are group-committed with one store write, and
+// its events are applied in slice order — so for any fixed resource (and
+// any fixed shard) the outcome is bit-identical to calling Ingest per
+// event in slice order.
+//
+// All events are validated before anything is applied. A WAL error
+// mid-way aborts with the remaining shards unapplied (the same
+// prefix-durability contract as a sequence of Ingest calls); state is
+// never mutated ahead of its WAL record.
+func (e *Engine) IngestMany(events []PostEvent) error {
+	for k, ev := range events {
+		if ev.Resource < 0 || ev.Resource >= e.n {
+			return fmt.Errorf("engine: event %d: resource index %d out of range [0,%d)", k, ev.Resource, e.n)
+		}
+		if len(ev.Post) == 0 {
+			return fmt.Errorf("engine: event %d: empty post for resource %d", k, ev.Resource)
+		}
+	}
+	// One unlocked pre-pass counts each shard's events, so untouched
+	// shards are never locked or scanned and a touched shard's scan can
+	// stop at its last event — a batch that lands on one shard (the
+	// common case under resource-striped workers) costs O(batch), not
+	// O(shards·batch).
+	nshards := len(e.shards)
+	var countsBuf [64]int
+	counts := countsBuf[:]
+	if nshards > len(countsBuf) {
+		counts = make([]int, nshards)
+	} else {
+		counts = counts[:nshards]
+	}
+	for _, ev := range events {
+		counts[ev.Resource%nshards]++
+	}
+	for s, sh := range e.shards {
+		if counts[s] == 0 {
+			continue
+		}
+		if err := e.ingestShardBatch(s, sh, events, counts[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestShardBatch applies the shard's slice of an event batch: WAL
+// group commit first (under the shard lock, preserving event order),
+// then the state mutations. have is the shard's event count from the
+// caller's pre-pass; each scan stops once that many events have been
+// handled.
+func (e *Engine) ingestShardBatch(s int, sh *shard, events []PostEvent, have int) error {
+	nshards := len(e.shards)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.cfg.WAL != nil {
+		left := have
+		for _, ev := range events {
+			if ev.Resource%nshards != s {
+				continue
+			}
+			if err := sh.walBatch.Add(uint32(ev.Resource), ev.Post); err != nil {
+				sh.walBatch.Reset()
+				return fmt.Errorf("engine: wal: %w", err)
+			}
+			if left--; left == 0 {
+				break
+			}
+		}
+		if err := e.commitWALBatch(sh); err != nil {
+			return err
+		}
+	}
+	left := have
+	for _, ev := range events {
+		if ev.Resource%nshards != s {
+			continue
+		}
+		sh.applyLocked(sh.res[ev.Resource/nshards], ev.Post, e.cfg.UnderThreshold)
+		if left--; left == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// commitWALBatch writes the shard's framed WAL batch under the engine's
+// WAL mutex and resets the buffer for reuse. Caller holds sh.mu, so the
+// log's per-shard record order always matches apply order (lock order:
+// shard → wal, as in Ingest).
+func (e *Engine) commitWALBatch(sh *shard) error {
+	if sh.walBatch.Records() == 0 {
+		return nil
+	}
+	e.walMu.Lock()
+	err := e.cfg.WAL.AppendBatch(&sh.walBatch)
+	e.walMu.Unlock()
+	sh.walBatch.Reset()
+	if err != nil {
+		return fmt.Errorf("engine: wal: %w", err)
+	}
 	return nil
 }
 
@@ -319,9 +541,7 @@ func (sh *shard) applyLocked(r *resource, p tags.Post, underThreshold int) {
 		sh.wasted++
 	}
 	if r.refCounts != nil {
-		for _, t := range p {
-			r.dot += r.refCounts.Get(t)
-		}
+		r.addDot(p)
 	}
 	r.tracker.Observe(p)
 	r.consumed++

@@ -324,3 +324,340 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		t.Error("empty post accepted")
 	}
 }
+
+// requireBitIdentical asserts two engines have bit-identical snapshots,
+// verify-metrics and per-resource qualities.
+func requireBitIdentical(t *testing.T, a, b *Engine) {
+	t.Helper()
+	ma, mb := a.Snapshot(), b.Snapshot()
+	if ma != mb {
+		t.Fatalf("snapshots diverge:\n%+v\n%+v", ma, mb)
+	}
+	va, vb := a.VerifyMetrics(), b.VerifyMetrics()
+	if va != vb {
+		t.Fatalf("verify metrics diverge:\n%+v\n%+v", va, vb)
+	}
+	if a.N() != b.N() {
+		t.Fatalf("n %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.QualityOf(i) != b.QualityOf(i) {
+			t.Fatalf("resource %d quality %.17g vs %.17g", i, a.QualityOf(i), b.QualityOf(i))
+		}
+		if a.Count(i) != b.Count(i) {
+			t.Fatalf("resource %d count %d vs %d", i, a.Count(i), b.Count(i))
+		}
+	}
+}
+
+// eventStream flattens every resource's future posts into one
+// deterministic interleaved event sequence.
+func eventStream(specs []ResourceSpec, seqs []tags.Seq) []PostEvent {
+	var events []PostEvent
+	for k := 0; ; k++ {
+		progress := false
+		for i := range specs {
+			at := len(specs[i].Initial) + k
+			if at < len(seqs[i]) {
+				events = append(events, PostEvent{Resource: i, Post: seqs[i][at]})
+				progress = true
+			}
+		}
+		if !progress {
+			return events
+		}
+	}
+}
+
+// IngestBatch and IngestMany must be bit-identical to one-at-a-time
+// Ingest — for both the map reference representation and the hybrid
+// dense counts, with and without a declared tag universe.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, universe := range []int{0, 4096} {
+		specs, seqs := testSpecs(t, 30, 11)
+		cfg := Config{Omega: 5, Shards: 4, UnderThreshold: 10, TagUniverse: universe}
+		seq, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		many, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := eventStream(specs, seqs)
+		for _, ev := range events {
+			if err := seq.Ingest(ev.Resource, ev.Post); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Per-resource IngestBatch in the same global order: feed each
+		// event as a singleton batch interleaved with occasional runs.
+		for k := 0; k < len(events); {
+			run := 1
+			for k+run < len(events) && run < 7 && events[k+run].Resource == events[k].Resource {
+				run++
+			}
+			posts := make([]tags.Post, 0, run)
+			for j := 0; j < run; j++ {
+				posts = append(posts, events[k+j].Post)
+			}
+			if err := batched.IngestBatch(events[k].Resource, posts); err != nil {
+				t.Fatal(err)
+			}
+			k += run
+		}
+		// Cross-resource IngestMany in chunks of 64.
+		for k := 0; k < len(events); k += 64 {
+			end := k + 64
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := many.IngestMany(events[k:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireBitIdentical(t, seq, batched)
+		requireBitIdentical(t, seq, many)
+	}
+}
+
+// The hybrid dense representation (TagUniverse > 0) must be bit-identical
+// to the map reference representation under the same ingest stream.
+func TestDenseUniverseMatchesMapReference(t *testing.T) {
+	specs, seqs := testSpecs(t, 20, 13)
+	mapEng, err := New(Config{Omega: 5, Shards: 2, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseEng, err := New(Config{Omega: 5, Shards: 2, UnderThreshold: 10, TagUniverse: 64}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range eventStream(specs, seqs) {
+		if err := mapEng.Ingest(ev.Resource, ev.Post); err != nil {
+			t.Fatal(err)
+		}
+		if err := denseEng.Ingest(ev.Resource, ev.Post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireBitIdentical(t, mapEng, denseEng)
+}
+
+// Concurrent IngestMany across goroutines (resource-striped, so each
+// resource's order is preserved) must agree with the sequential oracle.
+// Run under -race this proves the batch path's locking is sound.
+func TestConcurrentIngestMany(t *testing.T) {
+	specs, seqs := testSpecs(t, 48, 17)
+	cfg := Config{Omega: 5, Shards: 8, UnderThreshold: 10, TagUniverse: 4096}
+	eng, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := eventStream(specs, seqs)
+	for _, ev := range events {
+		if err := oracle.Ingest(ev.Resource, ev.Post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []PostEvent
+			flush := func() {
+				if len(buf) == 0 {
+					return
+				}
+				if err := eng.IngestMany(buf); err != nil {
+					t.Error(err)
+				}
+				buf = buf[:0]
+			}
+			for _, ev := range events {
+				if ev.Resource%workers != w {
+					continue
+				}
+				buf = append(buf, ev)
+				if len(buf) >= 32 {
+					flush()
+				}
+			}
+			flush()
+		}(w)
+	}
+	wg.Wait()
+	// Concurrent apply order across shards differs, so compare against
+	// the full-scan oracle (integer metrics exact, quality to within
+	// reassociation of the compensated shard sums).
+	requireMetricsMatch(t, eng.Snapshot(), eng.VerifyMetrics())
+	requireMetricsMatch(t, eng.Snapshot(), oracle.VerifyMetrics())
+	for i := 0; i < eng.N(); i++ {
+		if eng.QualityOf(i) != oracle.QualityOf(i) {
+			t.Fatalf("resource %d quality diverges", i)
+		}
+	}
+}
+
+// A batched run's WAL must contain exactly the records of a sequential
+// run, in a per-resource order that replays to the identical engine
+// state after recovery.
+func TestWALGroupCommitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := tagstore.Open(dir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, seqs := testSpecs(t, 10, 19)
+	cfg := Config{Omega: 5, Shards: 3, UnderThreshold: 10, TagUniverse: 4096, WAL: wal}
+	eng, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := eventStream(specs, seqs)
+	for k := 0; k < len(events); k += 48 {
+		end := k + 48
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := eng.IngestMany(events[k:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-recovery: reopen the log, replay into a fresh engine.
+	re, err := tagstore.Open(dir, tagstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if int(re.Records()) != len(events) {
+		t.Fatalf("wal has %d records, want %d", re.Records(), len(events))
+	}
+	recovered, err := New(Config{Omega: 5, Shards: 3, UnderThreshold: 10, TagUniverse: 4096}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < recovered.N(); i++ {
+		posts, err := re.Posts(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := recovered.IngestBatch(i, posts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle, err := New(Config{Omega: 5, Shards: 3, UnderThreshold: 10, TagUniverse: 4096}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := oracle.Ingest(ev.Resource, ev.Post); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recovery replays resource by resource, a different aggregation
+	// order than the live interleave, so the compensated quality sum can
+	// differ by reassociation ULPs; counts, integer metrics and every
+	// per-resource quality are exact.
+	requireMetricsMatch(t, recovered.Snapshot(), oracle.VerifyMetrics())
+	for i := 0; i < recovered.N(); i++ {
+		if recovered.QualityOf(i) != oracle.QualityOf(i) {
+			t.Fatalf("resource %d quality %.17g vs %.17g", i, recovered.QualityOf(i), oracle.QualityOf(i))
+		}
+		if recovered.Count(i) != oracle.Count(i) {
+			t.Fatalf("resource %d count %d vs %d", i, recovered.Count(i), oracle.Count(i))
+		}
+	}
+}
+
+// The WAL record id must never silently truncate a resource index: New
+// rejects WAL-configured engines whose resource count exceeds the
+// 32-bit id space, and every ingest validates its index against n.
+func TestWALResourceIDGuard(t *testing.T) {
+	if !walCapacityOK(math.MaxUint32) || !walCapacityOK(math.MaxUint32+1) {
+		t.Error("in-range resource counts rejected")
+	}
+	if walCapacityOK(math.MaxUint32 + 2) {
+		t.Error("first overflowing resource count accepted")
+	}
+	if walCapacityOK(1 << 40) {
+		t.Error("huge resource count accepted")
+	}
+}
+
+// Hybrid dense paths must tolerate malformed (negative) tag ids the way
+// the map reference form does — counted, never an index panic — even
+// through the engine's dense ref lookup.
+func TestNegativeTagIDsSafe(t *testing.T) {
+	h, m := sparse.NewHybridCounts(0), sparse.NewCounts()
+	bad := tags.Post{-3, 1} // hand-built; NewPost would reject it
+	if ho, mo := h.Add(bad), m.Add(bad); ho != mo {
+		t.Fatalf("overlap %d vs %d", ho, mo)
+	}
+	if h.Get(-3) != 1 || h.Get(-3) != m.Get(-3) || h.Norm2() != m.Norm2() {
+		t.Fatal("negative-id accounting diverges from map form")
+	}
+	h.Remove(bad)
+	m.Remove(bad)
+	if h.Get(-3) != 0 || h.Norm2() != m.Norm2() {
+		t.Fatal("negative-id removal diverges from map form")
+	}
+
+	specs, _ := testSpecs(t, 4, 29)
+	e, err := New(Config{Omega: 5, Shards: 2, UnderThreshold: 10, TagUniverse: 4096}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(1, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestMany([]PostEvent{{Resource: 0, Post: bad}}); err != nil {
+		t.Fatal(err)
+	}
+	requireMetricsMatch(t, e.Snapshot(), e.VerifyMetrics())
+}
+
+// Batch entry points validate like Ingest.
+func TestBatchValidation(t *testing.T) {
+	specs, _ := testSpecs(t, 4, 23)
+	e, err := New(Config{Omega: 5, Shards: 2, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch(9, []tags.Post{{1}}); err == nil {
+		t.Error("out-of-range batch accepted")
+	}
+	if err := e.IngestBatch(0, []tags.Post{{1}, {}}); err == nil {
+		t.Error("empty post in batch accepted")
+	}
+	if err := e.IngestBatch(0, nil); err != nil {
+		t.Errorf("empty batch rejected: %v", err)
+	}
+	if err := e.IngestMany([]PostEvent{{Resource: -1, Post: tags.Post{1}}}); err == nil {
+		t.Error("negative index event accepted")
+	}
+	if err := e.IngestMany([]PostEvent{{Resource: 0, Post: tags.Post{}}}); err == nil {
+		t.Error("empty post event accepted")
+	}
+	if err := e.IngestMany(nil); err != nil {
+		t.Errorf("empty event batch rejected: %v", err)
+	}
+	// Validation happens before any mutation.
+	if got := e.Snapshot().Posts; got != 0 {
+		t.Errorf("validation mutated state: %d posts", got)
+	}
+}

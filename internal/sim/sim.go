@@ -30,7 +30,6 @@ import (
 	"incentivetag/internal/engine"
 	"incentivetag/internal/quality"
 	"incentivetag/internal/sparse"
-	"incentivetag/internal/stability"
 	"incentivetag/internal/strategy"
 	"incentivetag/internal/synth"
 	"incentivetag/internal/tags"
@@ -51,6 +50,11 @@ type Data struct {
 	Costs []int
 	// UnderThreshold is the under-tagged post-count threshold (paper: 10).
 	UnderThreshold int
+	// TagUniverse is the tag-universe bound |T| (Vocab.Size() when built
+	// from a dataset; 0 = unknown). Serving engines use it to enable the
+	// hybrid dense count representation; the replay simulator keeps the
+	// map reference representation regardless.
+	TagUniverse int
 }
 
 // FromDataset adapts a synthetic dataset (optionally restricted to the
@@ -66,6 +70,7 @@ func FromDataset(ds *synth.Dataset, n int) *Data {
 		StableK:        make([]int, n),
 		Refs:           make([]*quality.Reference, n),
 		UnderThreshold: ds.Cfg.UnderTaggedThreshold,
+		TagUniverse:    ds.Vocab.Size(),
 	}
 	for i := 0; i < n; i++ {
 		r := &ds.Resources[i]
@@ -156,7 +161,11 @@ func (d *Data) EngineSpecs() []engine.ResourceSpec {
 // NewState primes a fresh run: the engine replays each resource's
 // initial prefix so MA scores reflect the January state. The engine is
 // built with a single shard so aggregate summation order (and thus
-// every reported float) is reproducible across machines.
+// every reported float) is reproducible across machines, and with the
+// map-backed count representation (TagUniverse 0): a replay run builds a
+// fresh engine per experiment, where the hybrid form's dense bases would
+// trade construction memory for ingest speed the run never amortizes.
+// Serving deployments (the public Service) declare the universe instead.
 func NewState(data *Data, omega int, seed int64) *State {
 	eng, err := engine.New(engine.Config{
 		Omega:          omega,
@@ -386,14 +395,19 @@ func ApplyAssignment(data *Data, x core.Assignment) (Checkpoint, error) {
 		}
 	}
 	cp.UnderTaggedPct = float64(cp.UnderTagged) / float64(n)
-	// Mean quality by direct replay of the final counts.
+	// Mean quality by direct replay of the final counts. One scratch
+	// count vector is reused across resources (Reset keeps its backing
+	// storage), so the oracle path no longer rebuilds a tracker and a
+	// fresh map per resource; the counts — and hence every cosine — are
+	// bit-identical to a fresh replay.
 	var qsum float64
+	scratch := sparse.NewHybridCounts(data.TagUniverse)
 	for i := 0; i < n; i++ {
-		tr := stability.NewTracker(2)
+		scratch.Reset()
 		for k := 0; k < data.Initial[i]+x[i]; k++ {
-			tr.Observe(data.Seqs[i][k])
+			scratch.Add(data.Seqs[i][k])
 		}
-		qsum += data.Refs[i].Of(tr.Counts())
+		qsum += data.Refs[i].Of(scratch)
 	}
 	cp.MeanQuality = qsum / float64(n)
 	return cp, nil

@@ -8,6 +8,25 @@
 // counts and exposes both views. Keeping counts, not frequencies, is what
 // enables the O(|post|) incremental adjacent-similarity update used by the
 // MU strategy (Appendix C.4): adding one post perturbs only |post| entries.
+//
+// # Hybrid representation
+//
+// Counts has two backing representations with identical observable
+// behaviour:
+//
+//   - the map form (NewCounts) — the reference implementation, compact for
+//     arbitrary tag universes;
+//   - the hybrid form (NewHybridCounts) — a dense []int32 indexed directly
+//     by tag id for ids below DenseTagCap, with a spill map above it. Real
+//     tag streams concentrate on a small active vocabulary (topical pool
+//     tags get small, early-interned ids), so the dense base turns the hot
+//     Add/Get path into array indexing with zero map traffic and zero
+//     steady-state allocation, while the spill map keeps rare large ids
+//     (never-repeating typo tags) correct without an O(|T|) array.
+//
+// Both forms maintain norm², mass and the Add overlap with the exact same
+// integer arithmetic, so every derived quantity (cosine, adjacent
+// similarity, quality) is bit-identical between them; tests assert this.
 package sparse
 
 import (
@@ -18,22 +37,73 @@ import (
 	"incentivetag/internal/tags"
 )
 
+// DenseTagCap is the hybrid form's dense-base bound: tag ids below it are
+// stored in the dense array, ids at or above it fall back to the spill
+// map. 4096 comfortably covers the early-interned topical pools of the
+// synthetic corpora (≈3k ids) while bounding the dense base at 16 KiB per
+// vector; the heavy tail of never-repeating typo ids spills to the map.
+const DenseTagCap = 4096
+
 // Counts is a sparse non-negative integer vector over tag ids. It tracks
 // the squared Euclidean norm and the L1 mass incrementally so cosine
 // similarity and relative frequencies never require a full scan beyond the
 // non-zero support.
 //
-// The zero value is NOT ready to use; call NewCounts.
+// The zero value is NOT ready to use; call NewCounts or NewHybridCounts.
 type Counts struct {
-	m     map[tags.Tag]int64
+	// m holds every entry in map form; in hybrid form it is the lazily
+	// allocated spill for tag ids ≥ len(d) that exceed DenseTagCap.
+	m map[tags.Tag]int64
+	// d is the hybrid dense base (nil in map form): d[t] is the count of
+	// tag id t. It grows geometrically on demand, never past DenseTagCap.
+	d []int32
+	// dn is the number of non-zero entries in d.
+	dn     int
+	hybrid bool
+
 	norm2 float64 // sum of squares of entries
 	mass  int64   // sum of entries (duplicate-counted tag occurrences)
 	posts int     // number of posts accumulated (k in the paper)
 }
 
-// NewCounts returns an empty count vector (k = 0 posts).
+// NewCounts returns an empty map-form count vector (k = 0 posts) — the
+// reference implementation.
 func NewCounts() *Counts {
 	return &Counts{m: make(map[tags.Tag]int64)}
+}
+
+// NewHybridCounts returns an empty hybrid count vector. universe is a
+// sizing hint (|T| when known): a universe within DenseTagCap pre-sizes
+// the dense base so the vector never allocates again; a larger (or zero)
+// universe lets the base grow on demand up to DenseTagCap, with larger
+// ids spilling to a map.
+func NewHybridCounts(universe int) *Counts {
+	c := &Counts{hybrid: true}
+	if universe > 0 && universe <= DenseTagCap {
+		c.d = make([]int32, universe)
+	}
+	return c
+}
+
+// Hybrid reports whether c uses the dense/map hybrid representation.
+func (c *Counts) Hybrid() bool { return c.hybrid }
+
+// grow extends the dense base to cover tag id t (caller guarantees
+// t < DenseTagCap). Geometric growth keeps the amortized cost O(1).
+func (c *Counts) grow(t int) {
+	n := 2 * len(c.d)
+	if n < t+1 {
+		n = t + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	if n > DenseTagCap {
+		n = DenseTagCap
+	}
+	nd := make([]int32, n)
+	copy(nd, c.d)
+	c.d = nd
 }
 
 // Posts returns k, the number of posts accumulated so far.
@@ -47,11 +117,18 @@ func (c *Counts) Mass() int64 { return c.mass }
 func (c *Counts) Norm2() float64 { return c.norm2 }
 
 // Len returns the number of distinct tags with non-zero count.
-func (c *Counts) Len() int { return len(c.m) }
+func (c *Counts) Len() int { return c.dn + len(c.m) }
 
 // Get returns h(t, k): the number of accumulated posts containing t
 // (Definition 3; each post contains a tag at most once).
-func (c *Counts) Get(t tags.Tag) int64 { return c.m[t] }
+func (c *Counts) Get(t tags.Tag) int64 {
+	if c.hybrid {
+		if ti := int(t); ti >= 0 && ti < len(c.d) {
+			return int64(c.d[ti])
+		}
+	}
+	return c.m[t]
+}
 
 // RelFreq returns f(t, k) (Definition 4): the count of t divided by total
 // tag occurrences, or 0 when no posts have been received.
@@ -59,7 +136,7 @@ func (c *Counts) RelFreq(t tags.Tag) float64 {
 	if c.mass == 0 {
 		return 0
 	}
-	return float64(c.m[t]) / float64(c.mass)
+	return float64(c.Get(t)) / float64(c.mass)
 }
 
 // Add accumulates one post: every tag in p has its count incremented by
@@ -67,11 +144,43 @@ func (c *Counts) RelFreq(t tags.Tag) float64 {
 // measured BEFORE the increment, which is exactly the quantity needed by
 // AdjacentCosine.
 func (c *Counts) Add(p tags.Post) (overlap int64) {
+	if c.hybrid {
+		for _, t := range p {
+			var old int64
+			// Out-of-range ids (negative, or ≥ the cap) take the spill
+			// map, mirroring what the map form does with any id.
+			if ti := int(t); ti >= 0 && ti < DenseTagCap {
+				if ti >= len(c.d) {
+					c.grow(ti)
+				}
+				o := c.d[ti]
+				if o == math.MaxInt32 {
+					panic(fmt.Sprintf("sparse: count overflow for tag %d", t))
+				}
+				if o == 0 {
+					c.dn++
+				}
+				c.d[ti] = o + 1
+				old = int64(o)
+			} else {
+				if c.m == nil {
+					c.m = make(map[tags.Tag]int64)
+				}
+				old = c.m[t]
+				c.m[t] = old + 1
+			}
+			overlap += old
+			// norm² gains (old+1)² − old² = 2·old + 1.
+			c.norm2 += float64(2*old + 1)
+		}
+		c.mass += int64(len(p))
+		c.posts++
+		return overlap
+	}
 	for _, t := range p {
 		old := c.m[t]
 		overlap += old
 		c.m[t] = old + 1
-		// norm² gains (old+1)² − old² = 2·old + 1.
 		c.norm2 += float64(2*old + 1)
 	}
 	c.mass += int64(len(p))
@@ -84,14 +193,26 @@ func (c *Counts) Add(p tags.Post) (overlap int64) {
 // post was never added). Used by rollback-style simulations and tests.
 func (c *Counts) Remove(p tags.Post) {
 	for _, t := range p {
-		old := c.m[t]
-		if old <= 0 {
-			panic(fmt.Sprintf("sparse: Remove of tag %d with count %d", t, old))
-		}
-		if old == 1 {
-			delete(c.m, t)
+		var old int64
+		if ti := int(t); c.hybrid && ti >= 0 && ti < len(c.d) {
+			old = int64(c.d[ti])
+			if old <= 0 {
+				panic(fmt.Sprintf("sparse: Remove of tag %d with count %d", t, old))
+			}
+			c.d[ti] = int32(old - 1)
+			if old == 1 {
+				c.dn--
+			}
 		} else {
-			c.m[t] = old - 1
+			old = c.m[t]
+			if old <= 0 {
+				panic(fmt.Sprintf("sparse: Remove of tag %d with count %d", t, old))
+			}
+			if old == 1 {
+				delete(c.m, t)
+			} else {
+				c.m[t] = old - 1
+			}
 		}
 		c.norm2 -= float64(2*old - 1)
 	}
@@ -99,43 +220,79 @@ func (c *Counts) Remove(p tags.Post) {
 	c.posts--
 }
 
-// Clone returns an independent deep copy.
+// Reset returns the vector to its empty state (k = 0) while retaining its
+// backing storage, so a scratch vector can be reused across replays
+// without reallocating.
+func (c *Counts) Reset() {
+	if c.hybrid {
+		clear(c.d)
+		c.dn = 0
+		clear(c.m)
+	} else {
+		clear(c.m)
+	}
+	c.norm2, c.mass, c.posts = 0, 0, 0
+}
+
+// Clone returns an independent deep copy (same representation).
 func (c *Counts) Clone() *Counts {
 	out := &Counts{
-		m:     make(map[tags.Tag]int64, len(c.m)),
-		norm2: c.norm2,
-		mass:  c.mass,
-		posts: c.posts,
+		hybrid: c.hybrid,
+		dn:     c.dn,
+		norm2:  c.norm2,
+		mass:   c.mass,
+		posts:  c.posts,
 	}
-	for t, n := range c.m {
-		out.m[t] = n
+	if c.d != nil {
+		out.d = make([]int32, len(c.d))
+		copy(out.d, c.d)
+	}
+	if c.m != nil {
+		out.m = make(map[tags.Tag]int64, len(c.m))
+		for t, n := range c.m {
+			out.m[t] = n
+		}
+	} else if !c.hybrid {
+		out.m = make(map[tags.Tag]int64)
 	}
 	return out
 }
 
+// forEach visits every non-zero entry.
+func (c *Counts) forEach(fn func(t tags.Tag, n int64)) {
+	for ti, n := range c.d {
+		if n != 0 {
+			fn(tags.Tag(ti), int64(n))
+		}
+	}
+	for t, n := range c.m {
+		fn(t, n)
+	}
+}
+
 // Support returns the non-zero tag ids in ascending order.
 func (c *Counts) Support() []tags.Tag {
-	out := make([]tags.Tag, 0, len(c.m))
-	for t := range c.m {
-		out = append(out, t)
-	}
+	out := make([]tags.Tag, 0, c.Len())
+	c.forEach(func(t tags.Tag, _ int64) { out = append(out, t) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Dot returns the inner product of two count vectors, iterating over the
-// smaller support.
+// smaller support. Every term is a product of integers and the sum stays
+// far below 2^53, so the result is exact (and order-independent) in
+// float64 regardless of representation.
 func (c *Counts) Dot(o *Counts) float64 {
 	a, b := c, o
-	if len(b.m) < len(a.m) {
+	if b.Len() < a.Len() {
 		a, b = b, a
 	}
 	var dot float64
-	for t, n := range a.m {
-		if m, ok := b.m[t]; ok {
+	a.forEach(func(t tags.Tag, n int64) {
+		if m := b.Get(t); m != 0 {
 			dot += float64(n) * float64(m)
 		}
-	}
+	})
 	return dot
 }
 
@@ -218,11 +375,11 @@ func (c *Counts) Dense(dim int) []float64 {
 	if c.mass == 0 {
 		return out
 	}
-	for t, n := range c.m {
+	c.forEach(func(t tags.Tag, n int64) {
 		if int(t) < dim {
 			out[t] = float64(n) / float64(c.mass)
 		}
-	}
+	})
 	return out
 }
 

@@ -240,3 +240,156 @@ func TestPaperExample2GoogleEarth(t *testing.T) {
 		t.Errorf("q1(3) = %.4f, paper says 0.953", got)
 	}
 }
+
+// --- hybrid dense/map equivalence ---------------------------------------
+
+// randomPost draws a post whose tags mix small "pool" ids (dense base)
+// and large "typo" ids (spill map), exercising both hybrid paths.
+func randomPost(t *testing.T, rng *rand.Rand) tags.Post {
+	t.Helper()
+	n := 1 + rng.Intn(4)
+	ts := make([]tags.Tag, n)
+	for j := range ts {
+		if rng.Intn(10) == 0 {
+			ts[j] = tags.Tag(DenseTagCap + rng.Intn(100000)) // spill id
+		} else {
+			ts[j] = tags.Tag(rng.Intn(3000)) // pool id
+		}
+	}
+	p, err := tags.NewPost(ts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// requireSame asserts the two vectors are observably identical, bit for
+// bit where floats are involved.
+func requireSame(t *testing.T, hybrid, ref *Counts) {
+	t.Helper()
+	if hybrid.Posts() != ref.Posts() || hybrid.Mass() != ref.Mass() || hybrid.Len() != ref.Len() {
+		t.Fatalf("posts/mass/len: %d/%d/%d vs %d/%d/%d",
+			hybrid.Posts(), hybrid.Mass(), hybrid.Len(), ref.Posts(), ref.Mass(), ref.Len())
+	}
+	if hybrid.Norm2() != ref.Norm2() {
+		t.Fatalf("norm2 %.17g vs %.17g", hybrid.Norm2(), ref.Norm2())
+	}
+	hs, rs := hybrid.Support(), ref.Support()
+	if len(hs) != len(rs) {
+		t.Fatalf("support sizes %d vs %d", len(hs), len(rs))
+	}
+	for i := range hs {
+		if hs[i] != rs[i] {
+			t.Fatalf("support[%d]: %d vs %d", i, hs[i], rs[i])
+		}
+		if hybrid.Get(hs[i]) != ref.Get(rs[i]) {
+			t.Fatalf("count of tag %d: %d vs %d", hs[i], hybrid.Get(hs[i]), ref.Get(rs[i]))
+		}
+	}
+}
+
+// The hybrid representation must be bit-identical to the map reference
+// under every operation: Add overlap, adjacent similarity, norms, cosine
+// against both representations, Remove, Clone, Reset.
+func TestHybridMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHybridCounts(0)
+	m := NewCounts()
+	if !h.Hybrid() || m.Hybrid() {
+		t.Fatal("representation flags wrong")
+	}
+	probe := NewCounts()
+	for i := 0; i < 40; i++ {
+		probe.Add(randomPost(t, rng))
+	}
+	var added []tags.Post
+	for i := 0; i < 400; i++ {
+		p := randomPost(t, rng)
+		added = append(added, p)
+		ho, mo := h.Add(p), m.Add(p)
+		if ho != mo {
+			t.Fatalf("step %d: overlap %d vs %d", i, ho, mo)
+		}
+		// AddWithAdjacent path: clones advanced by one more post.
+		hc, mc := h.Clone(), m.Clone()
+		q := randomPost(t, rng)
+		if ha, ma := hc.AddWithAdjacent(q), mc.AddWithAdjacent(q); ha != ma {
+			t.Fatalf("step %d: adjacent %.17g vs %.17g", i, ha, ma)
+		}
+		if hq, mq := h.Cosine(probe), m.Cosine(probe); hq != mq {
+			t.Fatalf("step %d: cosine vs map probe %.17g vs %.17g", i, hq, mq)
+		}
+		if hq, mq := probe.Cosine(h), probe.Cosine(m); hq != mq {
+			t.Fatalf("step %d: reversed cosine %.17g vs %.17g", i, hq, mq)
+		}
+	}
+	requireSame(t, h, m)
+	// Hybrid-vs-hybrid cosine equals map-vs-map.
+	h2, m2 := h.Clone(), m.Clone()
+	if h2.Cosine(h) != m2.Cosine(m) {
+		t.Fatal("hybrid/hybrid cosine diverges from map/map")
+	}
+	// Remove is the exact inverse in both representations.
+	for i := len(added) - 1; i >= 200; i-- {
+		h.Remove(added[i])
+		m.Remove(added[i])
+	}
+	requireSame(t, h, m)
+	// Reset empties but keeps the vector usable.
+	h.Reset()
+	m.Reset()
+	requireSame(t, h, m)
+	if h.Posts() != 0 || h.Norm2() != 0 || h.Mass() != 0 || h.Len() != 0 {
+		t.Fatal("reset hybrid not empty")
+	}
+	p := tags.MustPost(1, DenseTagCap+5)
+	if ho, mo := h.Add(p), m.Add(p); ho != mo || h.Get(1) != 1 || h.Get(DenseTagCap+5) != 1 {
+		t.Fatal("post-reset add broken")
+	}
+}
+
+// A presized universe within DenseTagCap never grows the dense base.
+func TestHybridPresizedUniverse(t *testing.T) {
+	c := NewHybridCounts(100)
+	for i := 0; i < 50; i++ {
+		c.Add(tags.MustPost(tags.Tag(i), tags.Tag(99)))
+	}
+	if c.Get(99) != 50 || c.Get(7) != 1 {
+		t.Fatal("presized counts wrong")
+	}
+	// Ids beyond the hint but below the cap still work (base grows).
+	c.Add(tags.MustPost(200))
+	if c.Get(200) != 1 {
+		t.Fatal("growth beyond hint broken")
+	}
+	// Ids beyond the cap spill to the map.
+	c.Add(tags.MustPost(DenseTagCap + 1))
+	if c.Get(DenseTagCap+1) != 1 {
+		t.Fatal("spill broken")
+	}
+}
+
+// Reset must also be an identity for the map form used as a scratch
+// vector (the ApplyAssignment oracle path).
+func TestResetScratchReuse(t *testing.T) {
+	scratch := NewHybridCounts(0)
+	fresh := func(posts []tags.Post) *Counts {
+		c := NewCounts()
+		for _, p := range posts {
+			c.Add(p)
+		}
+		return c
+	}
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 10; round++ {
+		var posts []tags.Post
+		for i := 0; i < 30; i++ {
+			posts = append(posts, randomPost(t, rng))
+		}
+		scratch.Reset()
+		for _, p := range posts {
+			scratch.Add(p)
+		}
+		requireSame(t, scratch, fresh(posts))
+	}
+}

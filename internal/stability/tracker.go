@@ -51,6 +51,16 @@ func NewTracker(omega int) *Tracker {
 	}
 }
 
+// NewTrackerSized is NewTracker with the count vector in the hybrid
+// dense/map representation sized for a tag universe of the given bound —
+// the allocation-free ingest form used by the serving engine. All
+// observable behaviour is bit-identical to NewTracker.
+func NewTrackerSized(omega, universe int) *Tracker {
+	tr := NewTracker(omega)
+	tr.counts = sparse.NewHybridCounts(universe)
+	return tr
+}
+
 // Omega returns the window parameter ω.
 func (tr *Tracker) Omega() int { return tr.omega }
 

@@ -187,3 +187,36 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Error("snapshot mutated by later Observe")
 	}
 }
+
+// The sized (hybrid-counts) tracker must be observably bit-identical to
+// the map-backed reference tracker.
+func TestTrackerSizedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := NewTracker(5), NewTrackerSized(5, 96)
+	for k := 0; k < 200; k++ {
+		n := 1 + rng.Intn(4)
+		ts := make([]tags.Tag, n)
+		for j := range ts {
+			if rng.Intn(12) == 0 {
+				ts[j] = tags.Tag(sparse.DenseTagCap + rng.Intn(5000))
+			} else {
+				ts[j] = tags.Tag(rng.Intn(96))
+			}
+		}
+		p, err := tags.NewPost(ts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aa, ba := a.Observe(p), b.Observe(p); aa != ba {
+			t.Fatalf("step %d: adjacent %.17g vs %.17g", k, aa, ba)
+		}
+		am, aok := a.MA()
+		bm, bok := b.MA()
+		if aok != bok || am != bm {
+			t.Fatalf("step %d: MA %.17g/%v vs %.17g/%v", k, am, aok, bm, bok)
+		}
+	}
+	if a.Counts().Norm2() != b.Counts().Norm2() || a.Counts().Mass() != b.Counts().Mass() {
+		t.Fatal("final counts diverge")
+	}
+}

@@ -69,12 +69,12 @@ func TestScrubDetectsCorruption(t *testing.T) {
 	s.Close()
 }
 
-func TestAppendBatch(t *testing.T) {
+func TestAppendSeq(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir, Options{})
 	defer s.Close()
 	batch := []tags.Post{tags.MustPost(1, 2), tags.MustPost(3), tags.MustPost(2, 4)}
-	if err := s.AppendBatch(9, batch); err != nil {
+	if err := s.AppendSeq(9, batch); err != nil {
 		t.Fatal(err)
 	}
 	got, err := s.Posts(9)
@@ -87,7 +87,7 @@ func TestAppendBatch(t *testing.T) {
 		}
 	}
 	// Batch with an invalid item stops at the offender.
-	err = s.AppendBatch(10, []tags.Post{tags.MustPost(1), {}})
+	err = s.AppendSeq(10, []tags.Post{tags.MustPost(1), {}})
 	if err == nil {
 		t.Fatal("invalid batch accepted")
 	}

@@ -82,6 +82,8 @@ type Store struct {
 	index   map[uint32][]recordRef
 	records int64
 	order   []uint32 // resource ids in first-seen order
+
+	encBuf []byte // reusable scratch for single-record Append encoding
 }
 
 // Open opens (or creates) a store directory, scanning existing segments
@@ -272,12 +274,15 @@ func decodePost(payload []byte) (uint32, tags.Post, error) {
 }
 
 // Append writes one post for resource rid. The data is buffered; call
-// Flush (or Close) to make it durable.
+// Flush (or Close) to make it durable. The encode scratch is reused
+// across calls, so steady-state appends are allocation-free (beyond the
+// index entry).
 func (s *Store) Append(rid uint32, p tags.Post) error {
 	if len(p) == 0 {
 		return fmt.Errorf("tagstore: empty post")
 	}
-	payload := encodePost(make([]byte, 0, 16+4*len(p)), rid, p)
+	s.encBuf = encodePost(s.encBuf[:0], rid, p)
+	payload := s.encBuf
 	if len(payload) > maxRecordBytes {
 		return fmt.Errorf("tagstore: record too large (%d bytes)", len(payload))
 	}
@@ -306,6 +311,86 @@ func (s *Store) Append(rid uint32, p tags.Post) error {
 	s.index[rid] = append(s.index[rid], recordRef{seg: si, off: s.written, n: int32(len(payload))})
 	s.records++
 	s.written += int64(4 + len(payload) + 4)
+	return nil
+}
+
+// Batch accumulates fully framed records for a group commit. It is a
+// reusable buffer: callers Add records, hand the batch to AppendBatch,
+// then Reset it for the next group. A Batch belongs to one writer at a
+// time (the engine keeps one per shard behind the shard lock).
+type Batch struct {
+	buf  []byte
+	rids []uint32
+	lens []int32 // payload length per record, parallel to rids
+}
+
+// Add frames one post into the batch (header + payload + CRC), exactly
+// the byte layout Append produces.
+func (b *Batch) Add(rid uint32, p tags.Post) error {
+	if len(p) == 0 {
+		return fmt.Errorf("tagstore: empty post")
+	}
+	start := len(b.buf)
+	b.buf = append(b.buf, 0, 0, 0, 0) // header placeholder
+	b.buf = encodePost(b.buf, rid, p)
+	n := len(b.buf) - start - 4
+	if n > maxRecordBytes {
+		b.buf = b.buf[:start]
+		return fmt.Errorf("tagstore: record too large (%d bytes)", n)
+	}
+	binary.LittleEndian.PutUint32(b.buf[start:], uint32(n))
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(b.buf[start+4:]))
+	b.buf = append(b.buf, crcBuf[:]...)
+	b.rids = append(b.rids, rid)
+	b.lens = append(b.lens, int32(n))
+	return nil
+}
+
+// Records returns the number of records currently framed in the batch.
+func (b *Batch) Records() int { return len(b.rids) }
+
+// Bytes returns the framed size of the batch.
+func (b *Batch) Bytes() int { return len(b.buf) }
+
+// Reset empties the batch, retaining its buffers for reuse.
+func (b *Batch) Reset() {
+	b.buf = b.buf[:0]
+	b.rids = b.rids[:0]
+	b.lens = b.lens[:0]
+}
+
+// AppendBatch group-commits every record framed in b with a single
+// buffered write, updating the index as Append would. Record order within
+// the batch is preserved; durability still requires Flush (or Close), as
+// with Append. The batch is not consumed — call Reset to reuse it.
+//
+// Segment rotation is checked once per batch, so a large batch may
+// overshoot MaxSegmentBytes by its own size (the same soft bound a single
+// oversized record already has).
+func (s *Store) AppendBatch(b *Batch) error {
+	if b.Records() == 0 {
+		return nil
+	}
+	if s.written >= s.opts.MaxSegmentBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.Write(b.buf); err != nil {
+		return fmt.Errorf("tagstore: append batch: %w", err)
+	}
+	si := int32(len(s.segs) - 1)
+	off := s.written
+	for k, rid := range b.rids {
+		if _, seen := s.index[rid]; !seen {
+			s.order = append(s.order, rid)
+		}
+		s.index[rid] = append(s.index[rid], recordRef{seg: si, off: off, n: b.lens[k]})
+		off += int64(4+b.lens[k]) + 4
+	}
+	s.records += int64(len(b.rids))
+	s.written = off
 	return nil
 }
 

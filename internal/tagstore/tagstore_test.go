@@ -376,3 +376,164 @@ func TestResourcesFirstSeenOrder(t *testing.T) {
 	}
 	s.Close()
 }
+
+// A group-committed batch must be byte-equivalent to the same records
+// appended one at a time: identical read-back, index, reopen, and
+// interleaving with single Appends.
+func TestAppendBatchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	rng := rand.New(rand.NewSource(3))
+	want := map[uint32]tags.Seq{}
+	var global []tags.Post
+	var b Batch
+	for round := 0; round < 30; round++ {
+		b.Reset()
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			rid := uint32(rng.Intn(10))
+			p := randPost(rng)
+			if err := b.Add(rid, p); err != nil {
+				t.Fatal(err)
+			}
+			want[rid] = append(want[rid], p)
+			global = append(global, p)
+		}
+		recs := b.Records()
+		if err := s.AppendBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave a plain Append between batches.
+		rid := uint32(rng.Intn(10))
+		p := randPost(rng)
+		if err := s.Append(rid, p); err != nil {
+			t.Fatal(err)
+		}
+		want[rid] = append(want[rid], p)
+		global = append(global, p)
+		if recs == 0 {
+			t.Fatal("empty batch recorded")
+		}
+	}
+	check := func(s *Store) {
+		t.Helper()
+		if int(s.Records()) != len(global) {
+			t.Fatalf("store has %d records, want %d", s.Records(), len(global))
+		}
+		for rid, seq := range want {
+			got, err := s.Posts(rid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(seq) {
+				t.Fatalf("rid %d: %d posts, want %d", rid, len(got), len(seq))
+			}
+			for k := range seq {
+				if !got[k].Equal(seq[k]) {
+					t.Fatalf("rid %d post %d mismatch", rid, k)
+				}
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	defer re.Close()
+	check(re)
+}
+
+// AppendBatch preserves intra-batch record order in the global scan
+// order (the WAL ordering guarantee group commit must not break).
+func TestAppendBatchScanOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	var b Batch
+	var wantRids []uint32
+	for i := 0; i < 25; i++ {
+		rid := uint32(i % 7)
+		if err := b.Add(rid, tags.MustPost(tags.Tag(i))); err != nil {
+			t.Fatal(err)
+		}
+		wantRids = append(wantRids, rid)
+	}
+	if err := s.AppendBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	var gotRids []uint32
+	var gotTags []tags.Tag
+	if err := s.Scan(func(rid uint32, p tags.Post) error {
+		gotRids = append(gotRids, rid)
+		gotTags = append(gotTags, p[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRids) != len(wantRids) {
+		t.Fatalf("scanned %d records, want %d", len(gotRids), len(wantRids))
+	}
+	for i := range wantRids {
+		if gotRids[i] != wantRids[i] || gotTags[i] != tags.Tag(i) {
+			t.Fatalf("record %d out of order: rid %d tag %d", i, gotRids[i], gotTags[i])
+		}
+	}
+}
+
+// Batches respect segment rotation and empty batches are no-ops.
+func TestAppendBatchRotationAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 256})
+	defer s.Close()
+	var empty Batch
+	if err := s.AppendBatch(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if s.Records() != 0 {
+		t.Fatal("empty batch wrote records")
+	}
+	rng := rand.New(rand.NewSource(7))
+	total := 0
+	for round := 0; round < 40; round++ {
+		var b Batch
+		for i := 0; i < 5; i++ {
+			if err := b.Add(uint32(rng.Intn(4)), randPost(rng)); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		if err := s.AppendBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if int(s.Records()) != total {
+		t.Fatalf("records %d, want %d", s.Records(), total)
+	}
+	// Reopen re-indexes across the rotated segments.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := open(t, dir, Options{})
+	defer re.Close()
+	if int(re.Records()) != total {
+		t.Fatalf("reopened records %d, want %d", re.Records(), total)
+	}
+}
+
+// Batch.Add rejects empty posts and leaves the batch unchanged.
+func TestBatchValidation(t *testing.T) {
+	var b Batch
+	if err := b.Add(1, tags.Post{}); err == nil {
+		t.Error("empty post accepted")
+	}
+	if b.Records() != 0 || b.Bytes() != 0 {
+		t.Error("failed Add left bytes behind")
+	}
+}
