@@ -3,9 +3,8 @@ package incentivetag
 import (
 	"fmt"
 	"io"
-	"math/rand"
-	"sync"
 
+	"incentivetag/internal/alloc"
 	"incentivetag/internal/core"
 	"incentivetag/internal/crowd"
 	"incentivetag/internal/engine"
@@ -406,23 +405,29 @@ type ServiceOptions struct {
 	Resources int
 }
 
+// LeaseID names one outstanding incentivized post-task assignment.
+type LeaseID = alloc.LeaseID
+
+// AllocatorStats is a census of the allocator's lease lifecycle.
+type AllocatorStats = alloc.Stats
+
 // Service is the live-serving facade over the sharded tagging engine:
 // the production-shaped counterpart of Simulation. Posts stream in
-// through Ingest from any number of goroutines; Allocate/Complete run
-// the incentive allocation loop of Algorithm 1 against the live state;
-// Quality and Snapshot read the incrementally maintained metrics in
-// O(1) regardless of corpus size.
+// through Ingest from any number of goroutines; the incentive
+// allocation loop of Algorithm 1 runs against the live state through
+// leases (Lease/Fulfill/Expire) so any number of workers can hold
+// outstanding post tasks simultaneously; Quality and Snapshot read the
+// incrementally maintained metrics in O(1) regardless of corpus size.
 //
-// Ingest is safe for arbitrary concurrency. Allocate and Complete are
-// serialized internally (strategies are single-goroutine state
-// machines), so one allocation loop can run alongside many ingest
-// workers.
+// Every method is safe for arbitrary concurrency: ingest scales across
+// engine shards, while strategy state is serialized inside the lease
+// allocator (internal/alloc). Allocate/Complete remain as the
+// resource-keyed sequential surface; under the one-task-at-a-time
+// discipline they make exactly the decisions the lease path makes.
 type Service struct {
 	eng   *engine.Engine
 	wal   *tagstore.Store
-	strat strategy.Strategy
-
-	mu sync.Mutex // guards strat
+	alloc *alloc.Allocator
 }
 
 // NewService builds a live tagging service over a corpus: each
@@ -474,8 +479,11 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		}
 		return nil, err
 	}
-	strat.Init(&engine.View{Eng: eng, Rng: rand.New(rand.NewSource(opts.Seed))})
-	return &Service{eng: eng, wal: wal, strat: strat}, nil
+	return &Service{
+		eng:   eng,
+		wal:   wal,
+		alloc: alloc.New(strat, engine.NewView(eng, opts.Seed), eng),
+	}, nil
 }
 
 // N returns the number of resources served.
@@ -508,36 +516,73 @@ func (s *Service) IngestMany(events []PostEvent) error {
 	return s.eng.IngestMany(events)
 }
 
-// Allocate asks the configured strategy which resource the next
+// Lease asks the configured strategy which resource the next
 // incentivized post task should target, given the remaining reward
-// budget. ok is false when nothing is allocatable. Every successful
-// Allocate must be followed by exactly one Complete for that resource:
-// the heap-based strategies pop the resource on Choose and only re-arm
-// it on the UPDATE step Complete drives.
+// budget, and hands out a lease on it (Algorithm 1's CHOOSE, decoupled
+// from its completion). ok is false when nothing is allocatable. The
+// resource is hidden from further Leases until this one settles via
+// Fulfill or Expire, so any number of workers can hold tasks
+// concurrently without ever being handed the same resource twice.
+func (s *Service) Lease(remaining int) (resource int, lease LeaseID, ok bool) {
+	return s.alloc.Lease(remaining)
+}
+
+// Fulfill settles a lease with the post its worker produced: the post
+// is ingested (WAL-first when durability is configured) and the
+// strategy runs Algorithm 1's UPDATE. Fulfilling an unknown, already
+// fulfilled, or expired lease returns an error without touching any
+// state. The strategy is notified even when the ingest itself fails
+// (e.g. a WAL write error), so a failed completion re-arms the resource
+// instead of permanently removing it.
+func (s *Service) Fulfill(lease LeaseID, p Post) error {
+	return s.alloc.Fulfill(lease, p)
+}
+
+// Expire settles a lease without a post — the worker abandoned the
+// task. The resource is re-armed for future allocation; no post is
+// ingested and no budget is consumed.
+func (s *Service) Expire(lease LeaseID) error {
+	return s.alloc.Expire(lease)
+}
+
+// OutstandingLeases returns the number of unsettled leases.
+func (s *Service) OutstandingLeases() int { return s.alloc.Outstanding() }
+
+// LeaseResource returns the resource an outstanding lease targets; ok
+// is false for unknown or settled leases.
+func (s *Service) LeaseResource(lease LeaseID) (resource int, ok bool) {
+	return s.alloc.Resource(lease)
+}
+
+// AllocStats reports the lease lifecycle counters (issued, outstanding,
+// fulfilled, expired).
+func (s *Service) AllocStats() AllocatorStats { return s.alloc.StatsSnapshot() }
+
+// Allocate is the sequential resource-keyed surface over Lease: it
+// leases the next task and returns only the resource. Every successful
+// Allocate must be followed by exactly one Complete for that resource.
+// Prefer Lease/Fulfill for concurrent workers — they carry the lease
+// identity explicitly.
 func (s *Service) Allocate(remaining int) (resource int, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.strat.Choose(remaining)
+	resource, _, ok = s.alloc.Lease(remaining)
+	return resource, ok
 }
 
 // Complete ingests the post produced by an allocated task and notifies
-// the strategy (Algorithm 1's UPDATE step). The strategy is notified
-// even when ingest fails (e.g. a WAL write error), so a failed
-// completion re-arms the resource in the allocator instead of
-// permanently removing it; the engine state itself is untouched on
-// failure.
+// the strategy (Algorithm 1's UPDATE step), settling the oldest
+// outstanding lease on the resource. Calling Complete on a resource
+// with no outstanding lease preserves the historical unpaired-Complete
+// behaviour: the post is ingested and the strategy notified directly.
 func (s *Service) Complete(resource int, p Post) error {
-	err := s.eng.Ingest(resource, p)
-	if resource >= 0 && resource < s.eng.N() {
-		s.mu.Lock()
-		s.strat.Update(resource)
-		s.mu.Unlock()
-	}
-	return err
+	return s.alloc.FulfillResource(resource, p)
 }
 
 // Count returns the number of posts a resource has received.
 func (s *Service) Count(resource int) int { return s.eng.Count(resource) }
+
+// CostOf returns the reward units one post task on the resource
+// consumes (1 unless the variable-cost extension is active).
+func (s *Service) CostOf(resource int) int { return s.eng.CostOf(resource) }
 
 // Quality returns the current mean tagging quality q(R, ·) — an O(1)
 // read of the engine's incremental aggregates.

@@ -440,3 +440,65 @@ func TestServiceBatchIngest(t *testing.T) {
 		t.Fatalf("wal has %d records, want %d", wal.Records(), want)
 	}
 }
+
+// The lease facade: concurrent workers hold outstanding tasks, expiry
+// re-arms, and settled leases are dead forever.
+func TestServiceLeaseFacade(t *testing.T) {
+	ds := testDS(t)
+	svc, err := NewService(ds, ServiceOptions{Strategy: "FP-MU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Hold several leases at once: all resources distinct.
+	type held struct {
+		resource int
+		lease    LeaseID
+	}
+	var leases []held
+	seen := map[int]bool{}
+	for k := 0; k < 8; k++ {
+		i, lease, ok := svc.Lease(1 << 20)
+		if !ok {
+			t.Fatalf("lease %d refused", k)
+		}
+		if seen[i] {
+			t.Fatalf("resource %d leased twice concurrently", i)
+		}
+		seen[i] = true
+		leases = append(leases, held{i, lease})
+	}
+	if got := svc.OutstandingLeases(); got != 8 {
+		t.Fatalf("outstanding = %d, want 8", got)
+	}
+
+	// Expire one, fulfill the rest from the recorded replay.
+	if err := svc.Expire(leases[0].lease); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Expire(leases[0].lease); err == nil {
+		t.Fatal("double expire accepted")
+	}
+	posts := svc.Snapshot().Posts
+	for _, h := range leases[1:] {
+		r := &ds.Resources[h.resource]
+		p := r.Seq[len(r.Seq)-1]
+		if k := svc.Count(h.resource); k < len(r.Seq) {
+			p = r.Seq[k]
+		}
+		if err := svc.Fulfill(h.lease, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Fulfill(h.lease, p); err == nil {
+			t.Fatal("double fulfill accepted")
+		}
+	}
+	if got := svc.Snapshot().Posts; got != posts+7 {
+		t.Fatalf("posts = %d, want %d", got, posts+7)
+	}
+	st := svc.AllocStats()
+	if st.Issued != 8 || st.Outstanding != 0 || st.Fulfilled != 7 || st.Expired != 1 {
+		t.Fatalf("alloc stats = %+v", st)
+	}
+}

@@ -1,0 +1,129 @@
+// Command benchgate is the CI benchmark regression gate: it compares
+// the throughput *ratios* of a fresh BENCH_engine.json against a
+// committed baseline and fails when any ratio fell below
+// tolerance × baseline.
+//
+// Usage:
+//
+//	benchgate -baseline .github/bench-baseline.json -report BENCH_engine.ci.json
+//
+// Only dimensionless ratios are gated (checkpoint speedup, batched
+// ingest speedups, WAL group-commit speedup, serving-vs-fig6
+// throughput): absolute posts/sec vary wildly across CI runner
+// hardware, but a ratio of two measurements taken in the same process
+// on the same machine transfers. The tolerance is deliberately generous
+// — the gate exists to catch "someone made the hot path 3× slower", not
+// 10% noise.
+//
+// Baseline schema:
+//
+//	{
+//	  "tolerance": 0.45,
+//	  "ratios": { "speedup": 1.87, "ingest.scan_speedup": 1.19, ... }
+//	}
+//
+// Ratio keys are dot-paths into the report JSON. Refresh the baseline by
+// running `go run ./cmd/tagbench -n 300 -budget 1500` on any machine and
+// copying the new ratios in whenever a PR legitimately shifts them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed gate definition.
+type Baseline struct {
+	// Tolerance multiplies each baseline ratio to get the failure
+	// threshold; (0,1]. 0.45 means "fail below 45% of baseline".
+	Tolerance float64 `json:"tolerance"`
+	// Ratios maps report dot-paths to their baseline values.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// lookup resolves a dot-path ("ingest.scan_speedup") in decoded JSON.
+func lookup(doc map[string]any, path string) (float64, bool) {
+	cur := any(doc)
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		if cur, ok = m[part]; !ok {
+			return 0, false
+		}
+	}
+	v, ok := cur.(float64)
+	return v, ok
+}
+
+func main() {
+	baselinePath := flag.String("baseline", ".github/bench-baseline.json", "committed baseline file")
+	reportPath := flag.String("report", "BENCH_engine.ci.json", "fresh tagbench report to check")
+	tolerance := flag.Float64("tolerance", 0, "override the baseline's tolerance (0 = use file)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail("baseline: %v", err)
+	}
+	if *tolerance != 0 {
+		base.Tolerance = *tolerance
+	}
+	if base.Tolerance <= 0 || base.Tolerance > 1 {
+		fail("tolerance %g outside (0,1]", base.Tolerance)
+	}
+	if len(base.Ratios) == 0 {
+		fail("baseline gates nothing")
+	}
+
+	raw, err = os.ReadFile(*reportPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		fail("report: %v", err)
+	}
+
+	keys := make([]string, 0, len(base.Ratios))
+	for k := range base.Ratios {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	for _, key := range keys {
+		want := base.Ratios[key]
+		floor := want * base.Tolerance
+		got, ok := lookup(report, key)
+		status := "ok"
+		switch {
+		case !ok:
+			status = "MISSING"
+			failures++
+		case got < floor:
+			status = "REGRESSED"
+			failures++
+		}
+		fmt.Printf("benchgate: %-42s baseline %8.3f  floor %8.3f  current %8.3f  %s\n",
+			key, want, floor, got, status)
+	}
+	if failures > 0 {
+		fail("%d of %d gated ratios regressed past %.0f%% of baseline", failures, len(keys), 100*base.Tolerance)
+	}
+	fmt.Printf("benchgate: all %d ratios within tolerance\n", len(keys))
+}

@@ -7,7 +7,7 @@
 //	tagbench [-n 2000] [-budget 10000] [-every 100] [-seed 1]
 //	         [-batch 256] [-out BENCH_engine.json]
 //
-// Two scenario families run:
+// Three scenario families run:
 //
 //   - the checkpoint-dense Figure-6 shape: one strategy run of the full
 //     budget, snapshotting metrics every -every spent units, under the
@@ -18,7 +18,10 @@
 //     hot path (the PR 1 baseline) against the batched dense pipeline
 //     (hybrid dense counts + IngestMany + group-commit WAL), including
 //     a multi-goroutine throughput matrix over shard and worker counts
-//     and allocations-per-post from runtime.MemStats.
+//     and allocations-per-post from runtime.MemStats;
+//   - the lease allocation path: concurrent workers running full
+//     Lease/Fulfill cycles through internal/alloc, across the served
+//     strategies (RR, FP, MU, FP-MU) and worker counts.
 //
 // Before any timing, both ingest representations run one checked pass:
 // integer metrics must match exactly and per-resource qualities must be
@@ -93,6 +96,24 @@ type IngestReport struct {
 	VsPR1AllocReduction float64 `json:"dense_batch_vs_pr1_alloc_reduction"`
 }
 
+// AllocPoint is one cell of the allocate-throughput matrix.
+type AllocPoint struct {
+	Strategy     string  `json:"strategy"`
+	Workers      int     `json:"workers"`
+	AllocsPerSec float64 `json:"allocs_per_sec"`
+}
+
+// AllocateReport captures the lease-path benchmarks: full Lease/Fulfill
+// cycles through the concurrent allocator (internal/alloc) over a live
+// dense engine, across the served strategies and worker counts.
+// Allocation is serialized behind the allocator mutex while the
+// fulfilled posts flow through the sharded ingest path, so the matrix
+// shows each policy's CHOOSE/UPDATE cost under contention.
+type AllocateReport struct {
+	MeasureMillis int64        `json:"measure_ms"`
+	Points        []AllocPoint `json:"points"`
+}
+
 // Report is the schema of BENCH_engine.json.
 type Report struct {
 	Timestamp string `json:"timestamp"`
@@ -118,7 +139,8 @@ type Report struct {
 	FinalOverTagged  int     `json:"final_over_tagged"`
 	FinalWastedPosts int     `json:"final_wasted_posts"`
 
-	Ingest IngestReport `json:"ingest"`
+	Ingest   IngestReport   `json:"ingest"`
+	Allocate AllocateReport `json:"allocate"`
 }
 
 func fail(format string, args ...any) {
@@ -252,6 +274,25 @@ func runIngestBenchmarks(data *sim.Data, batch int) IngestReport {
 	return rep
 }
 
+// runAllocateBenchmarks measures lease-path throughput: total
+// Lease/Fulfill cycles per second for every served strategy × worker
+// count. Each cell builds a fresh engine and allocator so strategy heaps
+// start from the same primed state.
+func runAllocateBenchmarks(data *sim.Data, minDur time.Duration) AllocateReport {
+	rep := AllocateReport{MeasureMillis: minDur.Milliseconds()}
+	for _, name := range benchkit.AllocStrategies {
+		for _, workers := range []int{1, 4, 16} {
+			aps, err := benchkit.RunAllocate(data, name, workers, minDur)
+			if err != nil {
+				fail("allocate: %v", err)
+			}
+			rep.Points = append(rep.Points, AllocPoint{Strategy: name, Workers: workers, AllocsPerSec: aps})
+			fmt.Fprintf(os.Stderr, "tagbench: allocate %-5s workers=%-2d %.0f allocs/sec\n", name, workers, aps)
+		}
+	}
+	return rep
+}
+
 func main() {
 	n := flag.Int("n", 0, "resource count (0 = scenario default)")
 	budget := flag.Int("budget", 0, "total budget (0 = scenario default)")
@@ -321,6 +362,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking serving ingest path (batch=%d)\n", *batch)
 	ingest := runIngestBenchmarks(data, *batch)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking lease allocation path\n")
+	allocRep := runAllocateBenchmarks(data, 400*time.Millisecond)
+
 	// PR 1-style engine numbers, measured in this same process: the fig6
 	// checkpoint run normalized per post (construction + ingest +
 	// checkpoints — the only per-post engine cost PR 1 recorded).
@@ -353,6 +397,7 @@ func main() {
 		FinalOverTagged:  final.OverTagged,
 		FinalWastedPosts: final.WastedPosts,
 		Ingest:           ingest,
+		Allocate:         allocRep,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

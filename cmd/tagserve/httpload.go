@@ -1,0 +1,231 @@
+// HTTP load-generator mode: instead of driving an in-process Service,
+// tagserve -url http://... drives a running tagserved over its JSON API
+// the way a crowd of networked workers would — concurrent batched
+// ingest, then a concurrent allocate/complete/expire swarm — and
+// reports end-to-end ingest posts/sec and allocations/sec.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incentivetag/internal/server"
+)
+
+// httpSummary is the JSON report of one load-generation run.
+type httpSummary struct {
+	URL     string `json:"url"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	Batch   int    `json:"batch"`
+
+	OrganicPosts   int     `json:"organic_posts"`
+	OrganicMillis  int64   `json:"organic_ms"`
+	PostsPerSecond float64 `json:"posts_per_sec"`
+
+	Fulfilled         int     `json:"fulfilled_tasks"`
+	Expired           int     `json:"expired_tasks"`
+	AllocateMillis    int64   `json:"allocate_ms"`
+	AllocationsPerSec float64 `json:"allocations_per_sec"`
+
+	FinalPosts          int     `json:"final_posts"`
+	FinalMeanQuality    float64 `json:"final_mean_quality"`
+	FinalOverTagged     int     `json:"final_over_tagged"`
+	FinalUnderTaggedPct float64 `json:"final_under_tagged_pct"`
+	FinalWastedPosts    int     `json:"final_wasted_posts"`
+	LeasesOutstanding   int     `json:"leases_outstanding"`
+}
+
+type httpClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *httpClient) post(path string, body, out any) error {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (c *httpClient) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// randomPost synthesizes a 1–3 tag worker post over the advertised tag
+// universe. Real workers restate a resource's topical vocabulary;
+// random tags are the adversarial version of that — fine for load, and
+// quality still reflects the primed corpus state.
+func randomPost(rng *rand.Rand, universe int) []int32 {
+	k := 1 + rng.Intn(3)
+	out := make([]int32, 0, k)
+	for len(out) < k {
+		out = append(out, int32(rng.Intn(universe)))
+	}
+	return out
+}
+
+// runHTTPLoad drives a remote tagserved. posts is the organic ingest
+// volume; budget the number of incentive tasks to complete; expireFrac
+// in [0,1) the fraction of leases abandoned instead of fulfilled.
+func runHTTPLoad(url string, workers, batch, posts, budget int, expireFrac float64, seed int64) {
+	c := &httpClient{base: url, hc: &http.Client{Timeout: 30 * time.Second}}
+	var info server.InfoResponse
+	if err := c.get("/info", &info); err != nil {
+		fmt.Fprintf(os.Stderr, "tagserve: %v\n", err)
+		os.Exit(1)
+	}
+	if info.N == 0 || info.TagUniverse == 0 {
+		fmt.Fprintf(os.Stderr, "tagserve: server advertises n=%d |T|=%d; cannot generate load\n", info.N, info.TagUniverse)
+		os.Exit(1)
+	}
+	out := httpSummary{URL: url, N: info.N, Workers: workers, Batch: batch}
+
+	failed := func(err error) {
+		fmt.Fprintf(os.Stderr, "tagserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Organic phase: each worker ingests batches over its own resource
+	// stripe with its own deterministic RNG. Batches are claimed from a
+	// shared quota counter *before* they are sent, so the run ingests
+	// exactly -posts posts no matter how workers interleave.
+	if posts > 0 {
+		var claimed, ingested atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				buf := make([]server.IngestEvent, 0, batch)
+				r := w % info.N
+				for {
+					from := claimed.Add(int64(batch)) - int64(batch)
+					if from >= int64(posts) {
+						return
+					}
+					want := batch
+					if left := posts - int(from); left < want {
+						want = left
+					}
+					buf = buf[:0]
+					for k := 0; k < want; k++ {
+						buf = append(buf, server.IngestEvent{Resource: r, Tags: randomPost(rng, info.TagUniverse)})
+						r = (r + workers) % info.N
+					}
+					if err := c.post("/ingest", server.IngestRequest{Events: buf}, nil); err != nil {
+						failed(err)
+					}
+					ingested.Add(int64(len(buf)))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		out.OrganicPosts = int(ingested.Load())
+		out.OrganicMillis = elapsed.Milliseconds()
+		out.PostsPerSecond = float64(ingested.Load()) / elapsed.Seconds()
+	}
+
+	// Incentive phase: a concurrent allocate/complete/expire swarm.
+	// Allocations/sec counts settled leases (fulfilled + expired) per
+	// wall-clock second across all workers.
+	if budget > 0 {
+		var claimed, fulfilled, expired atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + 1000 + int64(w)))
+				for {
+					// Claim a fulfillment slot up front (released again on
+					// expiry), so exactly budget tasks are completed.
+					if claimed.Add(1) > int64(budget) {
+						return
+					}
+					var al server.AllocateResponse
+					if err := c.post("/allocate", server.AllocateRequest{}, &al); err != nil {
+						failed(err)
+					}
+					if !al.OK {
+						return // budget spent server-side or nothing allocatable
+					}
+					if rng.Float64() < expireFrac {
+						if err := c.post("/expire", server.ExpireRequest{Lease: al.Lease}, nil); err != nil {
+							failed(err)
+						}
+						expired.Add(1)
+						claimed.Add(-1) // abandoned: the slot goes back
+						continue
+					}
+					if err := c.post("/complete", server.CompleteRequest{
+						Lease: al.Lease, Tags: randomPost(rng, info.TagUniverse),
+					}, nil); err != nil {
+						failed(err)
+					}
+					fulfilled.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		out.Fulfilled = int(fulfilled.Load())
+		out.Expired = int(expired.Load())
+		out.AllocateMillis = elapsed.Milliseconds()
+		out.AllocationsPerSec = float64(fulfilled.Load()+expired.Load()) / elapsed.Seconds()
+	}
+
+	var m server.MetricsResponse
+	if err := c.get("/metrics", &m); err != nil {
+		failed(err)
+	}
+	out.FinalPosts = m.Posts
+	out.FinalMeanQuality = m.MeanQuality
+	out.FinalOverTagged = m.OverTagged
+	out.FinalUnderTaggedPct = m.UnderTaggedPct
+	out.FinalWastedPosts = m.WastedPosts
+	out.LeasesOutstanding = m.LeasesOutstanding
+
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		failed(err)
+	}
+	fmt.Println(string(enc))
+	if out.FinalMeanQuality <= 0 {
+		fmt.Fprintf(os.Stderr, "tagserve: FAIL: mean quality %g not positive after load\n", out.FinalMeanQuality)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,14 @@
 //	tagserve [-n 1000] [-workers 8] [-shards 0] [-batch 256] [-posts 0]
 //	         [-budget 0] [-strategy FP-MU] [-wal DIR] [-seed 1]
 //	         [-report 250ms]
+//	tagserve -url http://127.0.0.1:8377 [-workers 8] [-batch 256]
+//	         [-posts N] [-budget B] [-expire-frac 0.1] [-seed 1]
+//
+// With -url the program becomes a network load generator against a
+// running tagserved (see httpload.go): concurrent batched /ingest
+// traffic, then a concurrent /allocate → /complete (or /expire) swarm,
+// reporting posts/sec and allocations/sec plus the server's final
+// /metrics snapshot. Without -url it drives an in-process Service:
 //
 // Workers buffer up to -batch posts from their resource stripe and hand
 // them to the engine through IngestMany — one shard-lock acquisition and
@@ -72,7 +80,14 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the durable post log (empty = no WAL)")
 	seed := flag.Int64("seed", 1, "corpus and strategy seed")
 	report := flag.Duration("report", 250*time.Millisecond, "live metric sampling interval")
+	url := flag.String("url", "", "drive a running tagserved at this base URL instead of an in-process Service")
+	expireFrac := flag.Float64("expire-frac", 0, "fraction of leased tasks to abandon via /expire (HTTP mode)")
 	flag.Parse()
+
+	if *url != "" {
+		runHTTPLoad(*url, *workers, *batch, *posts, *budget, *expireFrac, *seed)
+		return
+	}
 
 	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(*n, *seed))
 	if err != nil {

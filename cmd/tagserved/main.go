@@ -1,0 +1,110 @@
+// Command tagserved runs the tagging system as a network service: a
+// synthetic corpus is generated (or loaded from a directory persisted
+// by taggen/SaveDataset), a live Service is primed over it, and the
+// HTTP/JSON front-end of internal/server is exposed on -addr.
+//
+// Usage:
+//
+//	tagserved [-addr :8377] [-n 1000] [-seed 1] [-data DIR]
+//	          [-shards 0] [-strategy FP-MU] [-budget 0] [-wal DIR]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests finish, then the WAL (when configured) is flushed and
+// closed. The listen address is printed to stderr once the listener is
+// bound, so callers binding port 0 can discover the port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	incentivetag "incentivetag"
+	"incentivetag/internal/server"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tagserved: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8377", "HTTP listen address")
+	n := flag.Int("n", 1000, "resource count of the synthetic corpus")
+	seed := flag.Int64("seed", 1, "corpus and strategy seed")
+	dataDir := flag.String("data", "", "load a persisted corpus from this directory instead of generating")
+	shards := flag.Int("shards", 0, "engine shards (0 = default)")
+	stratName := flag.String("strategy", "FP-MU", "incentive allocation strategy")
+	budget := flag.Int("budget", 0, "total incentive budget in reward units (0 = unlimited)")
+	walDir := flag.String("wal", "", "directory for the durable post log (empty = no WAL)")
+	flag.Parse()
+
+	var ds *incentivetag.Dataset
+	var err error
+	if *dataDir != "" {
+		ds, err = incentivetag.LoadDataset(*dataDir)
+	} else {
+		ds, err = incentivetag.Generate(incentivetag.DefaultConfig(*n, *seed))
+	}
+	if err != nil {
+		fail("corpus: %v", err)
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
+		Shards:   *shards,
+		Strategy: *stratName,
+		Seed:     *seed,
+		WALDir:   *walDir,
+	})
+	if err != nil {
+		fail("service: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Service:     svc,
+		Strategy:    *stratName,
+		TagUniverse: ds.Vocab.Size(),
+		Budget:      *budget,
+	})
+	if err != nil {
+		fail("server: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tagserved: serving %d resources (|T|=%d, strategy %s) on %s\n",
+		ds.N(), ds.Vocab.Size(), *stratName, l.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tagserved: %v — draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fail("shutdown: %v", err)
+		}
+		<-done // Serve has returned ErrServerClosed
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fail("serve: %v", err)
+		}
+	}
+	// WAL flush strictly after the last request's write.
+	if err := svc.Close(); err != nil {
+		fail("close: %v", err)
+	}
+	m := svc.Snapshot()
+	fmt.Fprintf(os.Stderr, "tagserved: stopped — posts=%d quality=%.4f\n", m.Posts, m.MeanQuality)
+}

@@ -70,11 +70,17 @@
 //
 //	svc, _ := incentivetag.NewService(ds, incentivetag.ServiceOptions{})
 //	defer svc.Close()
-//	_ = svc.Ingest(42, post)            // concurrent-safe live traffic
-//	if i, ok := svc.Allocate(100); ok { // CHOOSE the next post task
-//		_ = svc.Complete(i, taggerPost) // ingest its result + UPDATE
-//	}
-//	fmt.Println(svc.Quality())          // O(1), independent of corpus size
+//	_ = svc.Ingest(42, post)                // concurrent-safe live traffic
+//	if i, lease, ok := svc.Lease(100); ok { // CHOOSE, handed out as a lease
+//		_ = i                               // worker tags resource i ...
+//		_ = svc.Fulfill(lease, taggerPost)  // ... ingest + UPDATE
+//	}                                       // (or svc.Expire(lease))
+//	fmt.Println(svc.Quality())              // O(1), independent of corpus size
+//
+// Any number of workers may hold leases simultaneously — internal/alloc
+// guarantees concurrently leased resources are distinct and serializes
+// strategy state. internal/server + cmd/tagserved expose the same loop
+// as an HTTP/JSON API with graceful shutdown and WAL-backed durability.
 //
 // See examples/ for complete programs, README.md for the architecture
 // map, and DESIGN.md for the system inventory and the paper-to-module

@@ -9,8 +9,12 @@ package benchkit
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"incentivetag/internal/alloc"
 	"incentivetag/internal/engine"
+	"incentivetag/internal/experiments"
 	"incentivetag/internal/sim"
 	"incentivetag/internal/strategy"
 	"incentivetag/internal/synth"
@@ -202,4 +206,88 @@ func RunIngest(eng *engine.Engine, parts [][]engine.PostEvent, batch int) error 
 		}
 	}
 	return nil
+}
+
+// --- allocate-throughput scenario ----------------------------------------
+//
+// The lease-path benchmark: N workers hammer the concurrent allocator
+// with full Lease/Fulfill cycles against a live dense engine — the
+// serving-side counterpart of the ingest matrix. Strategy state sits
+// behind one allocator mutex, so this measures how much the sharded
+// ingest inside Fulfill overlaps with allocation, and what the CHOOSE
+// cost of each policy is under contention.
+
+// AllocStrategies is the strategy set a live allocator serves (FC models
+// organic traffic and is excluded, as in the public Service).
+var AllocStrategies = []string{"RR", "FP", "MU", "FP-MU"}
+
+// NewAllocStrategy instantiates a fresh serving strategy by paper name,
+// with ω fixed at the experimental default 5 to match the scenario
+// engine. It is the single name→constructor map of
+// experiments.NewStrategy, not a reimplementation.
+func NewAllocStrategy(name string) (strategy.Strategy, error) {
+	return experiments.NewStrategy(name, 5)
+}
+
+// RunAllocate hammers a fresh allocator over a fresh dense engine with
+// Lease/Fulfill cycles from the given number of worker goroutines for at
+// least minDur, returning settled allocations per second. Each fulfilled
+// task restates the resource's final recorded post (the converged-tagger
+// convention), so workers need no cursor coordination and the engine
+// keeps absorbing steady-state traffic for as long as the measurement
+// runs.
+func RunAllocate(data *sim.Data, stratName string, workers int, minDur time.Duration) (float64, error) {
+	eng, err := BuildEngine(data, engine.DefaultShards, true, nil)
+	if err != nil {
+		return 0, err
+	}
+	strat, err := NewAllocStrategy(stratName)
+	if err != nil {
+		return 0, err
+	}
+	a := alloc.New(strat, engine.NewView(eng, 1), eng)
+
+	var stop atomic.Bool
+	errs := make([]error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				// Deadline checks are amortized: one clock read per 32
+				// sub-microsecond cycles.
+				if k%32 == 0 && stop.Load() {
+					return
+				}
+				i, lease, ok := a.Lease(1 << 30)
+				if !ok {
+					return // every candidate resource is in flight
+				}
+				seq := data.Seqs[i]
+				if err := a.Fulfill(lease, seq[len(seq)-1]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(minDur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	st := a.StatsSnapshot()
+	if st.Outstanding != 0 {
+		return 0, fmt.Errorf("benchkit: %d leases left outstanding", st.Outstanding)
+	}
+	if st.Fulfilled == 0 {
+		return 0, fmt.Errorf("benchkit: no allocations settled (strategy %s)", stratName)
+	}
+	return float64(st.Fulfilled) / elapsed.Seconds(), nil
 }

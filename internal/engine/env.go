@@ -14,7 +14,8 @@ import (
 //
 // A View itself holds no mutable state; the single-goroutine discipline
 // the strategies require must be enforced by the caller (the public
-// Service serializes Allocate/Complete behind one mutex).
+// Service routes every Choose/Update through internal/alloc, which
+// serializes them behind the allocator mutex).
 type View struct {
 	// Eng is the engine being observed.
 	Eng *Engine
@@ -28,6 +29,15 @@ type View struct {
 }
 
 var _ strategy.Env = (*View)(nil)
+
+// NewView returns the serving-shaped view over eng: every resource is
+// always available (live deployments have no finite replay to exhaust)
+// and stochastic strategies draw from a private deterministic stream
+// seeded with seed. It is the view the public Service, the lease
+// allocator benchmarks and the HTTP front-end all build on.
+func NewView(eng *Engine, seed int64) *View {
+	return &View{Eng: eng, Rng: rand.New(rand.NewSource(seed))}
+}
 
 // N returns the number of resources.
 func (v *View) N() int { return v.Eng.N() }

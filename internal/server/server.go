@@ -1,0 +1,510 @@
+// Package server is the HTTP/JSON front-end over the live tagging
+// Service: the network face of the paper's Figure-2 system, where
+// Internet crowds tag resources and the incentive allocator hands out
+// paid post tasks. It exposes the full serving loop —
+//
+//	POST /ingest    organic posts, single or batched
+//	POST /allocate  lease the next incentivized post task (CHOOSE)
+//	POST /complete  fulfill a lease with the worker's post (UPDATE)
+//	POST /expire    abandon a lease, re-arming its resource
+//	GET  /metrics   O(1) aggregate metric snapshot + lease census
+//	GET  /topk      top-k similar resources from live rfd state
+//	GET  /info      corpus/strategy facts a load generator needs
+//
+// — and is safe for arbitrary client concurrency: ingest scales across
+// the engine's shards, allocation is serialized inside the lease
+// allocator, and every outstanding lease is owned by exactly one HTTP
+// client at a time.
+//
+// The server tracks the incentive budget: /allocate reserves the
+// task's reward-unit cost when the lease is handed out (so concurrent
+// clients can never collectively over-commit the budget), /complete
+// converts the reservation into spend, /expire releases it, and
+// clients may also pass an explicit remaining bound per request (the
+// min of the two applies). A zero configured budget means unlimited.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	incentivetag "incentivetag"
+)
+
+// maxBody bounds request bodies; a batch of a few thousand posts fits
+// comfortably.
+const maxBody = 8 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Service is the live tagging service to expose. Required.
+	Service *incentivetag.Service
+	// Strategy is the allocation policy name, advertised via /info.
+	Strategy string
+	// TagUniverse is |T| (Vocab.Size()), advertised via /info so load
+	// generators can synthesize plausible posts.
+	TagUniverse int
+	// Budget is the total incentive budget in reward units; fulfilled
+	// tasks consume it and /allocate refuses once it is gone. 0 means
+	// unlimited.
+	Budget int
+}
+
+// Server is the HTTP front-end. Create with New; serve either through
+// Handler (e.g. httptest) or ListenAndServe/Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// Budget accounting. reserved holds the cost of outstanding leases:
+	// /allocate reserves under budgetMu before leasing (check and
+	// reservation are one critical section, so concurrent clients cannot
+	// collectively overshoot the budget), /complete converts the
+	// reservation into spend, /expire releases it.
+	budgetMu sync.Mutex
+	spent    int
+	reserved int
+
+	mu sync.Mutex
+	hs *http.Server
+}
+
+// New validates the configuration and builds the route table.
+func New(cfg Config) (*Server, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("server: nil Service")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("server: negative budget %d", cfg.Budget)
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /allocate", s.handleAllocate)
+	s.mux.HandleFunc("POST /complete", s.handleComplete)
+	s.mux.HandleFunc("POST /expire", s.handleExpire)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /info", s.handleInfo)
+	return s, nil
+}
+
+// Handler returns the route table as an http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown (which returns
+// http.ErrServerClosed here) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	s.mu.Lock()
+	if s.hs != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already serving")
+	}
+	hs := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.hs = hs
+	s.mu.Unlock()
+	return hs.ListenAndServe()
+}
+
+// Serve is ListenAndServe over an existing listener (lets callers bind
+// port 0 and learn the address before serving).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.hs != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already serving")
+	}
+	hs := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.hs = hs
+	s.mu.Unlock()
+	return hs.Serve(l)
+}
+
+// Shutdown gracefully stops the HTTP server: in-flight requests finish
+// (bounded by ctx), new connections are refused. The Service itself is
+// not closed — the owner closes it after Shutdown returns, which is
+// what makes the WAL flush strictly after the last request's write.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// AllocatedSpent returns the reward units consumed by fulfilled tasks.
+func (s *Server) AllocatedSpent() int {
+	s.budgetMu.Lock()
+	defer s.budgetMu.Unlock()
+	return s.spent
+}
+
+// --- wire schema ---------------------------------------------------------
+
+// IngestEvent is one post in an ingest batch.
+type IngestEvent struct {
+	// Resource is the target resource index.
+	Resource int `json:"resource"`
+	// Tags are the post's tag ids (deduplicated and sorted server-side).
+	Tags []int32 `json:"tags"`
+}
+
+// IngestRequest carries one post (Resource/Tags) or a batch (Events);
+// exactly one form must be used.
+type IngestRequest struct {
+	Resource int           `json:"resource,omitempty"`
+	Tags     []int32       `json:"tags,omitempty"`
+	Events   []IngestEvent `json:"events,omitempty"`
+}
+
+// IngestResponse reports how many posts were ingested.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+}
+
+// AllocateRequest optionally bounds the remaining budget the strategy
+// sees; the server's own budget accounting always applies on top.
+type AllocateRequest struct {
+	Remaining int `json:"remaining,omitempty"`
+}
+
+// AllocateResponse is the leased task. OK=false means nothing is
+// allocatable (budget exhausted, or every candidate resource leased).
+type AllocateResponse struct {
+	OK       bool   `json:"ok"`
+	Resource int    `json:"resource,omitempty"`
+	Lease    uint64 `json:"lease,omitempty"`
+	// Cost is the reward units completing this task will consume.
+	Cost int `json:"cost,omitempty"`
+}
+
+// CompleteRequest fulfills a lease with the worker's post.
+type CompleteRequest struct {
+	Lease uint64  `json:"lease"`
+	Tags  []int32 `json:"tags"`
+}
+
+// ExpireRequest abandons a lease.
+type ExpireRequest struct {
+	Lease uint64 `json:"lease"`
+}
+
+// OKResponse acknowledges a settle operation.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// MetricsResponse is the /metrics payload: the engine's O(1) aggregate
+// snapshot plus the allocator's lease census and the server's budget
+// accounting.
+type MetricsResponse struct {
+	Posts          int     `json:"posts"`
+	Spent          int     `json:"spent"`
+	MeanQuality    float64 `json:"mean_quality"`
+	QualitySum     float64 `json:"quality_sum"`
+	OverTagged     int     `json:"over_tagged"`
+	UnderTagged    int     `json:"under_tagged"`
+	UnderTaggedPct float64 `json:"under_tagged_pct"`
+	WastedPosts    int     `json:"wasted_posts"`
+
+	LeasesIssued      uint64 `json:"leases_issued"`
+	LeasesOutstanding int    `json:"leases_outstanding"`
+	LeasesFulfilled   uint64 `json:"leases_fulfilled"`
+	LeasesExpired     uint64 `json:"leases_expired"`
+
+	AllocatedSpent  int `json:"allocated_spent"`
+	RemainingBudget int `json:"remaining_budget"` // -1 = unlimited
+}
+
+// TopKEntry is one similar resource.
+type TopKEntry struct {
+	Resource int     `json:"resource"`
+	Score    float64 `json:"score"`
+}
+
+// TopKResponse answers GET /topk?resource=i&k=10.
+type TopKResponse struct {
+	Resource int         `json:"resource"`
+	Top      []TopKEntry `json:"top"`
+}
+
+// InfoResponse answers GET /info.
+type InfoResponse struct {
+	N           int    `json:"n"`
+	TagUniverse int    `json:"tag_universe"`
+	Strategy    string `json:"strategy"`
+	Budget      int    `json:"budget"` // 0 = unlimited
+}
+
+// ErrorResponse carries a client- or server-side failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes the request body strictly (unknown fields rejected —
+// they are almost always a client schema bug worth failing loudly on).
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// post builds a validated tags.Post from wire tag ids.
+func post(ts []int32) (incentivetag.Post, error) {
+	ids := make([]incentivetag.Tag, len(ts))
+	for k, t := range ts {
+		ids[k] = incentivetag.Tag(t)
+	}
+	return incentivetag.NewPost(ids...)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	single := len(req.Tags) > 0
+	if single == (len(req.Events) > 0) {
+		writeError(w, http.StatusBadRequest, "provide either resource+tags or events, not both or neither")
+		return
+	}
+	if single {
+		p, err := post(req.Tags)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.ingest(w, func() error { return s.cfg.Service.Ingest(req.Resource, p) }); err == nil {
+			writeJSON(w, http.StatusOK, IngestResponse{Ingested: 1})
+		}
+		return
+	}
+	events := make([]incentivetag.PostEvent, len(req.Events))
+	for k, ev := range req.Events {
+		p, err := post(ev.Tags)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "event %d: %v", k, err)
+			return
+		}
+		events[k] = incentivetag.PostEvent{Resource: ev.Resource, Post: p}
+	}
+	if err := s.ingest(w, func() error { return s.cfg.Service.IngestMany(events) }); err == nil {
+		writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(events)})
+	}
+}
+
+// ingest runs fn and maps its error onto the right status class:
+// resource-index and empty-post complaints are the client's fault (400),
+// anything else (e.g. a WAL write failure) is ours (500). The engine
+// returns plain fmt errors, so message shape is the seam we have.
+func (s *Server) ingest(w http.ResponseWriter, fn func() error) error {
+	err := fn()
+	if err == nil {
+		return nil
+	}
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	if strings.Contains(msg, "out of range") || strings.Contains(msg, "empty post") {
+		status = http.StatusBadRequest
+	}
+	writeError(w, status, "%s", msg)
+	return err
+}
+
+func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	var req AllocateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	// Check, lease and reserve in one critical section: the budget can
+	// never be over-committed by concurrent /allocate calls, because a
+	// lease's cost is reserved before the next check runs. Lease itself
+	// is a fast heap operation; lock order budgetMu → allocator mutex,
+	// never inverted.
+	s.budgetMu.Lock()
+	remaining := s.remainingBudgetLocked()
+	if req.Remaining > 0 && req.Remaining < remaining {
+		remaining = req.Remaining
+	}
+	if remaining <= 0 {
+		s.budgetMu.Unlock()
+		writeJSON(w, http.StatusOK, AllocateResponse{OK: false})
+		return
+	}
+	i, lease, ok := s.cfg.Service.Lease(remaining)
+	if !ok {
+		s.budgetMu.Unlock()
+		writeJSON(w, http.StatusOK, AllocateResponse{OK: false})
+		return
+	}
+	cost := s.cfg.Service.CostOf(i)
+	s.reserved += cost
+	s.budgetMu.Unlock()
+	writeJSON(w, http.StatusOK, AllocateResponse{
+		OK:       true,
+		Resource: i,
+		Lease:    uint64(lease),
+		Cost:     cost,
+	})
+}
+
+// remainingBudgetLocked is the server-side remaining incentive budget
+// net of outstanding-lease reservations; math.MaxInt32 when unlimited.
+// Caller holds budgetMu.
+func (s *Server) remainingBudgetLocked() int {
+	if s.cfg.Budget == 0 {
+		return math.MaxInt32
+	}
+	rem := s.cfg.Budget - s.spent - s.reserved
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	p, err := post(req.Tags)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Read the task's cost while the lease is still alive — it names the
+	// resource; after Fulfill the lease is gone. If a racing settle wins,
+	// Fulfill errors and nothing is charged or released.
+	cost := 1
+	if i, ok := s.cfg.Service.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
+		cost = s.cfg.Service.CostOf(i)
+	}
+	if err := s.cfg.Service.Fulfill(incentivetag.LeaseID(req.Lease), p); err != nil {
+		if strings.Contains(err.Error(), "lease") {
+			// Unknown or already settled: a client protocol error; the
+			// reservation (if any) belongs to whoever settles it.
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		// The lease settled but the ingest failed (ours, e.g. a WAL write
+		// error): no budget was consumed, so release the reservation.
+		s.budgetMu.Lock()
+		s.reserved -= cost
+		s.budgetMu.Unlock()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.budgetMu.Lock()
+	s.reserved -= cost
+	s.spent += cost
+	s.budgetMu.Unlock()
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	var req ExpireRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	// As in /complete: capture the cost while the lease is alive, and
+	// release its reservation only if this call is the one that settles.
+	cost := 1
+	if i, ok := s.cfg.Service.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
+		cost = s.cfg.Service.CostOf(i)
+	}
+	if err := s.cfg.Service.Expire(incentivetag.LeaseID(req.Lease)); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.budgetMu.Lock()
+	s.reserved -= cost
+	s.budgetMu.Unlock()
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Service.Snapshot()
+	st := s.cfg.Service.AllocStats()
+	s.budgetMu.Lock()
+	spent := s.spent
+	rem := -1
+	if s.cfg.Budget > 0 {
+		rem = s.remainingBudgetLocked()
+	}
+	s.budgetMu.Unlock()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Posts:             m.Posts,
+		Spent:             m.Spent,
+		MeanQuality:       m.MeanQuality,
+		QualitySum:        m.QualitySum,
+		OverTagged:        m.OverTagged,
+		UnderTagged:       m.UnderTagged,
+		UnderTaggedPct:    m.UnderTaggedPct,
+		WastedPosts:       m.WastedPosts,
+		LeasesIssued:      st.Issued,
+		LeasesOutstanding: st.Outstanding,
+		LeasesFulfilled:   st.Fulfilled,
+		LeasesExpired:     st.Expired,
+		AllocatedSpent:    spent,
+		RemainingBudget:   rem,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	subject, err := strconv.Atoi(q.Get("resource"))
+	if err != nil || subject < 0 || subject >= s.cfg.Service.N() {
+		writeError(w, http.StatusBadRequest, "resource must be an index in [0,%d)", s.cfg.Service.N())
+		return
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 || k > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be in [1,1000]")
+			return
+		}
+	}
+	// Point-in-time index over the live rfd state: O(n·|tags|) — a
+	// case-study query, not a hot path.
+	idx := incentivetag.NewSimilarityIndex(s.cfg.Service.SnapshotRFDs())
+	scored := idx.TopK(subject, k)
+	out := TopKResponse{Resource: subject, Top: make([]TopKEntry, len(scored))}
+	for i, sc := range scored {
+		out.Top[i] = TopKEntry{Resource: sc.ID, Score: sc.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, InfoResponse{
+		N:           s.cfg.Service.N(),
+		TagUniverse: s.cfg.TagUniverse,
+		Strategy:    s.cfg.Strategy,
+		Budget:      s.cfg.Budget,
+	})
+}

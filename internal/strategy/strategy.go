@@ -47,7 +47,17 @@ type Env interface {
 
 // Strategy is one incentive allocation policy, the CHOOSE/UPDATE pair of
 // Algorithm 1. Implementations are single-goroutine state machines driven
-// by a Runner.
+// by a Runner; concurrent callers must serialize Choose/Update externally
+// (internal/alloc wraps a Strategy behind one mutex and hands out leases).
+//
+// Choose may be called repeatedly before the matching Updates arrive —
+// that is how a lease-based allocator keeps several post tasks in flight
+// at once. The heap strategies (FP, MU, FP-MU) support this natively:
+// Choose pops the resource from the priority queue and only the UPDATE
+// step re-arms it, so successive Chooses return distinct resources.
+// Cursor- and sampling-based strategies (RR, FC) re-read availability on
+// every Choose instead; callers that need distinct in-flight resources
+// must hide leased ones through the Env (see Masked).
 type Strategy interface {
 	// Name returns the paper's label for the strategy (FC, RR, ...).
 	Name() string
@@ -125,6 +135,34 @@ func (q *lazyPQ) pop() (int, bool) {
 // invalidate drops any queued entry for id without pushing a replacement,
 // permanently removing the resource until a future push.
 func (q *lazyPQ) invalidate(id int) { q.version[id]++ }
+
+// Masked wraps env so that Available(i) additionally requires ok(i); all
+// other observations pass through unchanged. It is how a lease-based
+// allocator hides resources with in-flight assignments from CHOOSE: a
+// leased resource simply looks unavailable until its lease settles, which
+// keeps cursor strategies (RR) from handing the same resource to two
+// concurrent workers. When every Choose is settled before the next one
+// (the sequential discipline), the mask is always the identity and the
+// wrapped strategy's decisions are unchanged.
+//
+// The wrapper intentionally exposes only the Env method set: optional
+// capabilities of the underlying environment (e.g. OrganicWeighter) are
+// not forwarded, so FC's popularity picker falls back to uniform choice
+// behind a mask — lease-based allocators serve incentive strategies, not
+// organic-traffic models.
+func Masked(env Env, ok func(i int) bool) Env {
+	if ok == nil {
+		return env
+	}
+	return &maskedEnv{Env: env, ok: ok}
+}
+
+type maskedEnv struct {
+	Env
+	ok func(i int) bool
+}
+
+func (m *maskedEnv) Available(i int) bool { return m.Env.Available(i) && m.ok(i) }
 
 // validateEnv panics early on a nil environment; all strategies share it.
 func validateEnv(env Env) {

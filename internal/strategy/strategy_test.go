@@ -311,3 +311,53 @@ func TestFPMURejectsBadOmega(t *testing.T) {
 	}()
 	NewFPMU(1)
 }
+
+// Masked intersects availability with the caller's predicate and leaves
+// every other observation untouched; capabilities beyond the Env method
+// set (OrganicWeighter) are deliberately not forwarded.
+func TestMaskedEnv(t *testing.T) {
+	e := newFakeEnv([]int{3, 1, 2})
+	e.avail[2] = false
+	blocked := map[int]bool{0: true}
+	m := Masked(e, func(i int) bool { return !blocked[i] })
+	if m.Available(0) {
+		t.Error("masked resource reported available")
+	}
+	if !m.Available(1) {
+		t.Error("unmasked resource reported unavailable")
+	}
+	if m.Available(2) {
+		t.Error("mask resurrected an unavailable resource")
+	}
+	if m.N() != 3 || m.Count(0) != 3 || m.Cost(1) != 1 {
+		t.Error("masked env mangled pass-through observations")
+	}
+	if _, ok := m.(OrganicWeighter); ok {
+		t.Error("mask forwarded the OrganicWeighter capability")
+	}
+	if Masked(e, nil) != Env(e) {
+		t.Error("nil predicate should return env unchanged")
+	}
+
+	// The lease-settle shape: mask a resource only after Choose popped
+	// it (a leased resource is never inside the heap), clear the mask on
+	// Update. FP then hands out distinct resources while one is held and
+	// returns to it after settlement.
+	delete(blocked, 0)
+	s := NewFP()
+	s.Init(m)
+	i, ok := s.Choose(100) // pops 1 (count 1); 2 is unavailable
+	if !ok || i != 1 {
+		t.Fatalf("Choose = %d, %v; want 1", i, ok)
+	}
+	blocked[1] = true // lease held on 1
+	if j, ok := s.Choose(100); !ok || j != 0 {
+		t.Fatalf("with 1 leased, Choose = %d, %v; want 0", j, ok)
+	}
+	s.Update(0)
+	delete(blocked, 1) // lease settles
+	s.Update(1)
+	if j, ok := s.Choose(100); !ok || j != 1 {
+		t.Fatalf("after settle, Choose = %d, %v; want 1", j, ok)
+	}
+}
