@@ -3,6 +3,9 @@ package incentivetag
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"incentivetag/internal/alloc"
 	"incentivetag/internal/core"
@@ -396,14 +399,37 @@ type ServiceOptions struct {
 	Strategy string
 	// Seed drives stochastic strategies (default 1).
 	Seed int64
-	// WALDir, when non-empty, opens an append-only tagstore post log in
-	// that directory and writes every ingested post through it before it
-	// mutates engine state.
+	// WALDir, when non-empty, opens the durable state directory: a
+	// segmented append-only post log plus engine snapshots. Every
+	// ingested post is group-committed to the log before it mutates
+	// engine state, and NewService RECOVERS from the directory — newest
+	// valid snapshot first, then the log tail — so a restarted service
+	// resumes bit-identical to the last acknowledged post. The directory
+	// is bound to one dataset and one set of engine options; reopening it
+	// with a different corpus fails loudly rather than silently
+	// diverging.
 	WALDir string
+	// SnapshotInterval is the background snapshotter's time policy: with
+	// a WALDir configured, a snapshot is written (and the covered log
+	// segments compacted away) whenever this much time has passed since
+	// the last one. 0 means DefaultSnapshotInterval; negative disables
+	// the background snapshotter (Close still writes a final snapshot).
+	SnapshotInterval time.Duration
+	// SnapshotEvery additionally triggers a snapshot once this many log
+	// records have accumulated since the last one (0 disables the
+	// record-count policy).
+	SnapshotEvery int
+	// KeepSnapshots is how many snapshot files to retain after a new one
+	// lands (default 2: the newest plus one fallback).
+	KeepSnapshots int
 	// Resources restricts the service to the first n corpus resources
 	// (0 = all).
 	Resources int
 }
+
+// DefaultSnapshotInterval is the background snapshotter's default time
+// policy.
+const DefaultSnapshotInterval = time.Minute
 
 // LeaseID names one outstanding incentivized post-task assignment.
 type LeaseID = alloc.LeaseID
@@ -425,15 +451,69 @@ type AllocatorStats = alloc.Stats
 // resource-keyed sequential surface; under the one-task-at-a-time
 // discipline they make exactly the decisions the lease path makes.
 type Service struct {
-	eng   *engine.Engine
-	wal   *tagstore.Store
-	alloc *alloc.Allocator
+	eng    *engine.Engine
+	wal    *tagstore.Store
+	alloc  *alloc.Allocator
+	walDir string
+	keep   int
+
+	recovery RecoveryStats // boot-time recovery facts, immutable
+
+	// Snapshot machinery. snapMu serializes snapshot/compaction cycles
+	// (the background snapshotter, /admin/snapshot and Close can race);
+	// lastSnapSeq is guarded by it.
+	snapMu      sync.Mutex
+	lastSnapSeq uint64
+	snapsTaken  atomic.Int64
+	segsDropped atomic.Int64
+
+	stopSnap chan struct{}
+	snapWG   sync.WaitGroup
+}
+
+// RecoveryStats reports what NewService did to rebuild state from a
+// durable WALDir, plus the live snapshotter counters.
+type RecoveryStats struct {
+	// Recovered is true when the WALDir held prior state (a snapshot or
+	// log records) that was restored.
+	Recovered bool `json:"recovered"`
+	// SnapshotLoaded is true when a snapshot seeded the engine;
+	// SnapshotSeq is the log sequence number it covered.
+	SnapshotLoaded bool   `json:"snapshot_loaded"`
+	SnapshotSeq    uint64 `json:"snapshot_seq"`
+	// SnapshotsSkipped counts damaged snapshot files passed over on the
+	// way to the newest valid one.
+	SnapshotsSkipped int `json:"snapshots_skipped"`
+	// ReplayedRecords is the number of log-tail records replayed on top
+	// of the snapshot (the whole log when none was loaded); ReplayBytes
+	// the log bytes read to do it.
+	ReplayedRecords int   `json:"replayed_records"`
+	ReplayBytes     int64 `json:"replay_bytes"`
+	// RecoveredPosts is the total number of live (non-primed) posts in
+	// the rebuilt engine — snapshot-carried plus replayed.
+	RecoveredPosts int `json:"recovered_posts"`
+	// ReplayMillis is the wall-clock recovery time (snapshot decode +
+	// tail replay).
+	ReplayMillis int64 `json:"replay_ms"`
+	// SnapshotsTaken / SegmentsCompacted are cumulative since boot.
+	SnapshotsTaken    int `json:"snapshots_taken"`
+	SegmentsCompacted int `json:"segments_compacted"`
 }
 
 // NewService builds a live tagging service over a corpus: each
 // resource is primed with its initial post prefix and measured against
 // its stable reference rfd, exactly as a deployment bootstrapped from a
 // historical tagging log would be.
+//
+// With a non-empty WALDir the service is durable: if the directory
+// already holds state, NewService first RECOVERS — it loads the newest
+// valid snapshot (falling back over damaged ones), replays the log tail
+// past it, and only then starts serving, yielding an engine that is
+// bit-identical to the one that last acknowledged a post there. A
+// background snapshotter then keeps recovery cheap: on the configured
+// interval/record policy it exports engine state, durably writes a
+// snapshot, drops the log segments the snapshot covers and prunes old
+// snapshots. Close flushes a final snapshot.
 func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 	if opts.Omega == 0 {
 		opts.Omega = 5
@@ -444,12 +524,24 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.SnapshotInterval == 0 {
+		opts.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if opts.KeepSnapshots == 0 {
+		opts.KeepSnapshots = 2
+	}
 	if opts.Strategy == "FC" {
 		return nil, fmt.Errorf("incentivetag: FC models organic tagger choice over the recorded replay; a live Service receives organic traffic through Ingest — pick RR, FP, MU or FP-MU for Allocate")
 	}
 	data := sim.FromDataset(ds, opts.Resources)
 	if err := data.Validate(); err != nil {
 		return nil, err
+	}
+	engCfg := engine.Config{
+		Omega:          opts.Omega,
+		Shards:         opts.Shards,
+		UnderThreshold: data.UnderThreshold,
+		TagUniverse:    data.TagUniverse,
 	}
 	var wal *tagstore.Store
 	if opts.WALDir != "" {
@@ -458,14 +550,9 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		engCfg.WAL = wal
 	}
-	eng, err := engine.New(engine.Config{
-		Omega:          opts.Omega,
-		Shards:         opts.Shards,
-		UnderThreshold: data.UnderThreshold,
-		TagUniverse:    data.TagUniverse,
-		WAL:            wal,
-	}, data.EngineSpecs())
+	eng, rec, err := buildEngine(engCfg, data, wal, opts.WALDir)
 	if err != nil {
 		if wal != nil {
 			wal.Close()
@@ -479,11 +566,85 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		}
 		return nil, err
 	}
-	return &Service{
-		eng:   eng,
-		wal:   wal,
-		alloc: alloc.New(strat, engine.NewView(eng, opts.Seed), eng),
-	}, nil
+	s := &Service{
+		eng:         eng,
+		wal:         wal,
+		alloc:       alloc.New(strat, engine.NewView(eng, opts.Seed), eng),
+		walDir:      opts.WALDir,
+		keep:        opts.KeepSnapshots,
+		recovery:    rec,
+		lastSnapSeq: rec.SnapshotSeq,
+	}
+	if wal != nil && opts.SnapshotInterval > 0 {
+		s.stopSnap = make(chan struct{})
+		s.snapWG.Add(1)
+		go s.snapshotter(opts.SnapshotInterval, opts.SnapshotEvery)
+	}
+	return s, nil
+}
+
+// buildEngine constructs the serving engine, recovering durable state
+// when the WAL directory already holds any. Every divergence between
+// the directory and the corpus/options is a loud error: recovery either
+// reproduces the pre-crash engine exactly or refuses to serve.
+func buildEngine(cfg engine.Config, data *sim.Data, wal *tagstore.Store, walDir string) (*engine.Engine, RecoveryStats, error) {
+	var rec RecoveryStats
+	if wal == nil {
+		eng, err := engine.New(cfg, data.EngineSpecs())
+		return eng, rec, err
+	}
+	start := time.Now()
+	snapSeq, payload, ok, skipped, err := tagstore.LatestSnapshot(walDir)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.SnapshotsSkipped = skipped
+	var eng *engine.Engine
+	if ok {
+		st, err := engine.UnmarshalState(payload)
+		if err != nil {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+		}
+		if st.LastSeq != snapSeq {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: snapshot file covers seq %d but its state says %d", walDir, snapSeq, st.LastSeq)
+		}
+		if st.LastSeq > wal.LastSeq() {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: snapshot covers seq %d but the log ends at %d — log truncated behind the snapshot", walDir, st.LastSeq, wal.LastSeq())
+		}
+		if wal.FirstSeq() > st.LastSeq+1 {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d, leaving a gap after snapshot seq %d", walDir, wal.FirstSeq(), st.LastSeq)
+		}
+		eng, err = engine.NewFromState(cfg, data.EngineSpecs(), st)
+		if err != nil {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+		}
+		rec.SnapshotLoaded = true
+		rec.SnapshotSeq = snapSeq
+	} else {
+		if wal.LastSeq() > 0 && wal.FirstSeq() > 1 {
+			return nil, rec, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d with no usable snapshot — compacted records are unrecoverable", walDir, wal.FirstSeq())
+		}
+		eng, err = engine.New(cfg, data.EngineSpecs())
+		if err != nil {
+			return nil, rec, err
+		}
+	}
+	n := eng.N()
+	bytes, err := wal.ScanFrom(snapSeq+1, func(seq uint64, rid uint32, p Post) error {
+		if int64(rid) >= int64(n) {
+			return fmt.Errorf("incentivetag: recovering %s: log record seq %d targets resource %d outside the corpus (n=%d) — the directory belongs to a different dataset", walDir, seq, rid, n)
+		}
+		rec.ReplayedRecords++
+		return eng.Replay(int(rid), p)
+	})
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.ReplayBytes = bytes
+	rec.RecoveredPosts = eng.Snapshot().Posts
+	rec.ReplayMillis = time.Since(start).Milliseconds()
+	rec.Recovered = rec.SnapshotLoaded || rec.ReplayedRecords > 0
+	return eng, rec, nil
 }
 
 // N returns the number of resources served.
@@ -595,13 +756,141 @@ func (s *Service) Snapshot() Metrics { return s.eng.Snapshot() }
 // similarity case-study layer (NewSimilarityIndex).
 func (s *Service) SnapshotRFDs() []*Counts { return s.eng.SnapshotRFDs() }
 
-// Close flushes and releases the WAL, if one was configured.
+// RecoveryStats reports the boot-time recovery facts plus the live
+// snapshotter counters.
+func (s *Service) RecoveryStats() RecoveryStats {
+	rec := s.recovery
+	rec.SnapshotsTaken = int(s.snapsTaken.Load())
+	rec.SegmentsCompacted = int(s.segsDropped.Load())
+	return rec
+}
+
+// SnapshotResult describes one snapshot/compaction cycle.
+type SnapshotResult struct {
+	// Skipped is true when no log records landed since the last
+	// snapshot, so nothing was written.
+	Skipped bool `json:"skipped"`
+	// LastSeq is the log sequence number the snapshot covers.
+	LastSeq uint64 `json:"last_seq"`
+	// Bytes is the snapshot payload size.
+	Bytes int `json:"bytes"`
+	// SegmentsDropped is how many covered log segments compaction
+	// reclaimed.
+	SegmentsDropped int `json:"segments_dropped"`
+	// Millis is the wall-clock cost of the cycle.
+	Millis int64 `json:"millis"`
+}
+
+// SnapshotNow synchronously runs one snapshot/compaction cycle: export
+// a consistent engine state cut, durably write it as a snapshot, drop
+// the log segments it covers, and prune old snapshots. Safe to call
+// while the service ingests; concurrent cycles are serialized. Returns
+// an error when the service has no WALDir.
+func (s *Service) SnapshotNow() (SnapshotResult, error) {
+	if s.wal == nil {
+		return SnapshotResult{}, fmt.Errorf("incentivetag: service has no WAL configured")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	t0 := time.Now()
+	st := s.eng.ExportState()
+	if st.LastSeq == s.lastSnapSeq {
+		return SnapshotResult{Skipped: true, LastSeq: st.LastSeq}, nil
+	}
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		return SnapshotResult{}, err
+	}
+	if _, err := tagstore.WriteSnapshot(s.walDir, st.LastSeq, payload); err != nil {
+		return SnapshotResult{}, err
+	}
+	res := SnapshotResult{LastSeq: st.LastSeq, Bytes: len(payload)}
+	// Prune damaged snapshots plus valid ones beyond the retention
+	// count, then compact only through the OLDEST retained VALID
+	// snapshot — not the one just written: the segments between retained
+	// snapshots are what make the fallback usable if the newest file is
+	// ever damaged. (With KeepSnapshots 1 the two sequences coincide.)
+	_, compactSeq, ok, err := tagstore.PruneSnapshots(s.walDir, s.keep)
+	if err != nil {
+		return SnapshotResult{}, err
+	}
+	if !ok {
+		compactSeq = st.LastSeq // unreachable: the snapshot just written is valid
+	}
+	if err := s.eng.WithWAL(func(w *tagstore.Store) error {
+		n, err := w.DropThrough(compactSeq)
+		res.SegmentsDropped = n
+		return err
+	}); err != nil {
+		return SnapshotResult{}, err
+	}
+	s.lastSnapSeq = st.LastSeq
+	s.snapsTaken.Add(1)
+	s.segsDropped.Add(int64(res.SegmentsDropped))
+	res.Millis = time.Since(t0).Milliseconds()
+	return res, nil
+}
+
+// snapshotter is the background snapshot loop: a snapshot is due when
+// the interval has elapsed, or earlier once every records have been
+// appended since the last one (records 0 disables the count policy).
+func (s *Service) snapshotter(interval time.Duration, records int) {
+	defer s.snapWG.Done()
+	poll := interval
+	if records > 0 && poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-tick.C:
+		}
+		due := time.Since(last) >= interval
+		if !due && records > 0 {
+			var pending uint64
+			s.eng.WithWAL(func(w *tagstore.Store) error {
+				pending = w.LastSeq()
+				return nil
+			})
+			s.snapMu.Lock()
+			due = pending >= s.lastSnapSeq+uint64(records)
+			s.snapMu.Unlock()
+		}
+		if !due {
+			continue
+		}
+		// Best effort: a failing snapshot (e.g. disk full) must not kill
+		// the serving loop; the interval clock only advances on success,
+		// so the next tick retries, and Close still surfaces its own
+		// error.
+		if _, err := s.SnapshotNow(); err == nil {
+			last = time.Now()
+		}
+	}
+}
+
+// Close stops the background snapshotter, writes a final snapshot (when
+// a WAL is configured and new records landed), and flushes and releases
+// the log.
 func (s *Service) Close() error {
+	if s.stopSnap != nil {
+		close(s.stopSnap)
+		s.snapWG.Wait()
+		s.stopSnap = nil
+	}
 	if s.wal == nil {
 		return nil
 	}
+	_, snapErr := s.SnapshotNow()
 	err := s.wal.Close()
 	s.wal = nil
+	if err == nil {
+		err = snapErr
+	}
 	return err
 }
 

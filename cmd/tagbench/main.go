@@ -21,7 +21,12 @@
 //     and allocations-per-post from runtime.MemStats;
 //   - the lease allocation path: concurrent workers running full
 //     Lease/Fulfill cycles through internal/alloc, across the served
-//     strategies (RR, FP, MU, FP-MU) and worker counts.
+//     strategies (RR, FP, MU, FP-MU) and worker counts;
+//   - the crash-recovery path: the same stream group-committed into a
+//     segmented WAL with a snapshot at 90%, then timed recoveries —
+//     snapshot+tail versus full-log replay (wall clock and bytes read)
+//     — plus the disk reclaimed by snapshot-driven compaction. Both
+//     recovered engines must match the live engine bit for bit.
 //
 // Before any timing, both ingest representations run one checked pass:
 // integer metrics must match exactly and per-resource qualities must be
@@ -41,6 +46,7 @@ import (
 	"incentivetag/internal/benchkit"
 	"incentivetag/internal/engine"
 	"incentivetag/internal/sim"
+	"incentivetag/internal/tags"
 	"incentivetag/internal/tagstore"
 )
 
@@ -103,6 +109,31 @@ type AllocPoint struct {
 	AllocsPerSec float64 `json:"allocs_per_sec"`
 }
 
+// RecoveryReport captures the durability benchmarks: how fast (and how
+// many bytes) a crashed serving engine comes back via snapshot + log
+// tail versus a full-log replay, and how much disk compaction reclaims.
+// Both recovery paths are verified bit-identical to the live engine
+// they rebuild before any timing is reported.
+type RecoveryReport struct {
+	WALRecords    int64 `json:"wal_records"`
+	Segments      int   `json:"segments"`
+	LogBytes      int64 `json:"log_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	TailRecords   int64 `json:"tail_records"`
+
+	FullReplayMillis   float64 `json:"full_replay_ms"`
+	FullReplayBytes    int64   `json:"full_replay_bytes_read"`
+	SnapshotTailMillis float64 `json:"snapshot_tail_ms"`
+	SnapshotTailBytes  int64   `json:"snapshot_tail_bytes_read"`
+	// Speedup is full-replay time over snapshot+tail time; BytesRatio
+	// the same for log bytes read. Both are gated in CI.
+	Speedup    float64 `json:"speedup"`
+	BytesRatio float64 `json:"bytes_read_ratio"`
+
+	SegmentsCompacted    int   `json:"segments_compacted"`
+	LogBytesAfterCompact int64 `json:"log_bytes_after_compaction"`
+}
+
 // AllocateReport captures the lease-path benchmarks: full Lease/Fulfill
 // cycles through the concurrent allocator (internal/alloc) over a live
 // dense engine, across the served strategies and worker counts.
@@ -141,6 +172,7 @@ type Report struct {
 
 	Ingest   IngestReport   `json:"ingest"`
 	Allocate AllocateReport `json:"allocate"`
+	Recovery RecoveryReport `json:"recovery"`
 }
 
 func fail(format string, args ...any) {
@@ -293,6 +325,157 @@ func runAllocateBenchmarks(data *sim.Data, minDur time.Duration) AllocateReport 
 	return rep
 }
 
+// runRecoveryBenchmark measures crash recovery: the corpus's future
+// stream is group-committed into a segmented WAL (small segments so the
+// chain actually rotates), a snapshot lands at 90% of the stream, and
+// the directory is then recovered both ways — full-log replay versus
+// snapshot + tail — with each rebuilt engine verified bit-identical to
+// the live one before its timing counts. Finishes by measuring what
+// DropThrough reclaims.
+func runRecoveryBenchmark(data *sim.Data, batch int) RecoveryReport {
+	var rep RecoveryReport
+	dir, err := os.MkdirTemp("", "tagbench-recovery-*")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	storeOpts := tagstore.Options{MaxSegmentBytes: 256 << 10}
+	cfg := engine.Config{
+		Omega:          5,
+		Shards:         engine.DefaultShards,
+		UnderThreshold: data.UnderThreshold,
+		TagUniverse:    data.TagUniverse,
+	}
+
+	wal, err := tagstore.Open(dir, storeOpts)
+	if err != nil {
+		fail("recovery wal: %v", err)
+	}
+	live, err := benchkit.BuildEngine(data, engine.DefaultShards, true, wal)
+	if err != nil {
+		fail("recovery engine: %v", err)
+	}
+	events := benchkit.FutureEvents(data)
+	cut := len(events) * 9 / 10
+	if err := benchkit.RunIngest(live, benchkit.Partition(events[:cut], 1), batch); err != nil {
+		fail("recovery ingest: %v", err)
+	}
+	st := live.ExportState()
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		fail("recovery snapshot: %v", err)
+	}
+	if _, err := tagstore.WriteSnapshot(dir, st.LastSeq, payload); err != nil {
+		fail("recovery snapshot: %v", err)
+	}
+	if err := benchkit.RunIngest(live, benchkit.Partition(events[cut:], 1), batch); err != nil {
+		fail("recovery ingest: %v", err)
+	}
+	want := live.Snapshot()
+	stat, err := wal.Stat()
+	if err != nil {
+		fail("recovery stat: %v", err)
+	}
+	rep.WALRecords = wal.Records()
+	rep.Segments = stat.Segments
+	rep.LogBytes = stat.Bytes
+	rep.SnapshotBytes = int64(len(payload))
+	rep.TailRecords = int64(len(events) - cut)
+	snapSeq := st.LastSeq
+	if err := wal.Close(); err != nil {
+		fail("recovery close: %v", err)
+	}
+
+	verify := func(eng *engine.Engine, path string) {
+		if got := eng.Snapshot(); got != want {
+			fail("%s recovery diverged from the live engine:\nlive      %+v\nrecovered %+v", path, want, got)
+		}
+	}
+	replayInto := func(store *tagstore.Store, eng *engine.Engine, from uint64) int64 {
+		bytes, err := store.ScanFrom(from, func(_ uint64, rid uint32, p tags.Post) error {
+			return eng.Replay(int(rid), p)
+		})
+		if err != nil {
+			fail("recovery replay: %v", err)
+		}
+		return bytes
+	}
+
+	const passes = 3
+	for pass := 0; pass < passes; pass++ {
+		// Full-log replay: prime from the corpus, then every record.
+		t0 := time.Now()
+		store, err := tagstore.Open(dir, storeOpts)
+		if err != nil {
+			fail("recovery reopen: %v", err)
+		}
+		eng, err := engine.New(cfg, data.EngineSpecs())
+		if err != nil {
+			fail("recovery engine: %v", err)
+		}
+		bytes := replayInto(store, eng, 1)
+		elapsed := time.Since(t0)
+		store.Close()
+		verify(eng, "full-replay")
+		if ms := float64(elapsed.Nanoseconds()) / 1e6; pass == 0 || ms < rep.FullReplayMillis {
+			rep.FullReplayMillis = ms
+			rep.FullReplayBytes = bytes
+		}
+
+		// Snapshot + tail: restore state, then only the records past it.
+		t0 = time.Now()
+		store, err = tagstore.Open(dir, storeOpts)
+		if err != nil {
+			fail("recovery reopen: %v", err)
+		}
+		seq, pl, ok, _, err := tagstore.LatestSnapshot(dir)
+		if err != nil || !ok {
+			fail("recovery snapshot load: ok=%v err=%v", ok, err)
+		}
+		decoded, err := engine.UnmarshalState(pl)
+		if err != nil {
+			fail("recovery snapshot decode: %v", err)
+		}
+		eng, err = engine.NewFromState(cfg, data.EngineSpecs(), decoded)
+		if err != nil {
+			fail("recovery restore: %v", err)
+		}
+		bytes = int64(len(pl)) + replayInto(store, eng, seq+1)
+		elapsed = time.Since(t0)
+		store.Close()
+		verify(eng, "snapshot+tail")
+		if ms := float64(elapsed.Nanoseconds()) / 1e6; pass == 0 || ms < rep.SnapshotTailMillis {
+			rep.SnapshotTailMillis = ms
+			rep.SnapshotTailBytes = bytes
+		}
+	}
+	if rep.SnapshotTailMillis > 0 {
+		rep.Speedup = rep.FullReplayMillis / rep.SnapshotTailMillis
+	}
+	if rep.SnapshotTailBytes > 0 {
+		rep.BytesRatio = float64(rep.FullReplayBytes) / float64(rep.SnapshotTailBytes)
+	}
+
+	// Compaction: drop everything the snapshot covers, measure the disk
+	// it frees.
+	store, err := tagstore.Open(dir, storeOpts)
+	if err != nil {
+		fail("recovery reopen: %v", err)
+	}
+	dropped, err := store.DropThrough(snapSeq)
+	if err != nil {
+		fail("recovery compaction: %v", err)
+	}
+	stat, err = store.Stat()
+	if err != nil {
+		fail("recovery stat: %v", err)
+	}
+	rep.SegmentsCompacted = dropped
+	rep.LogBytesAfterCompact = stat.Bytes
+	store.Close()
+	return rep
+}
+
 func main() {
 	n := flag.Int("n", 0, "resource count (0 = scenario default)")
 	budget := flag.Int("budget", 0, "total budget (0 = scenario default)")
@@ -365,6 +548,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking lease allocation path\n")
 	allocRep := runAllocateBenchmarks(data, 400*time.Millisecond)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking crash recovery\n")
+	recovery := runRecoveryBenchmark(data, *batch)
+	fmt.Fprintf(os.Stderr, "tagbench: recovery full-replay %.1f ms (%d KiB) vs snapshot+tail %.1f ms (%d KiB) — %.2fx faster, %.1fx fewer bytes; compaction %d→%d KiB (%d segments)\n",
+		recovery.FullReplayMillis, recovery.FullReplayBytes>>10,
+		recovery.SnapshotTailMillis, recovery.SnapshotTailBytes>>10,
+		recovery.Speedup, recovery.BytesRatio,
+		recovery.LogBytes>>10, recovery.LogBytesAfterCompact>>10, recovery.SegmentsCompacted)
+
 	// PR 1-style engine numbers, measured in this same process: the fig6
 	// checkpoint run normalized per post (construction + ingest +
 	// checkpoints — the only per-post engine cost PR 1 recorded).
@@ -398,6 +589,7 @@ func main() {
 		FinalWastedPosts: final.WastedPosts,
 		Ingest:           ingest,
 		Allocate:         allocRep,
+		Recovery:         recovery,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -94,11 +94,37 @@ func randomPost(rng *rand.Rand, universe int) []int32 {
 	return out
 }
 
+// awaitReady polls /healthz until the server reports ready — a freshly
+// restarted tagserved may still be replaying its WAL, and driving load
+// before the gate flips would only collect 503s (or, worse, race a
+// restart script's recovery assertions).
+func (c *httpClient) awaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var h server.HealthResponse
+		err := c.get("/healthz", &h)
+		if err == nil && h.Ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("server not ready")
+			}
+			return fmt.Errorf("tagserve: /healthz never became ready within %v: %w", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // runHTTPLoad drives a remote tagserved. posts is the organic ingest
 // volume; budget the number of incentive tasks to complete; expireFrac
 // in [0,1) the fraction of leases abandoned instead of fulfilled.
 func runHTTPLoad(url string, workers, batch, posts, budget int, expireFrac float64, seed int64) {
 	c := &httpClient{base: url, hc: &http.Client{Timeout: 30 * time.Second}}
+	if err := c.awaitReady(60 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 	var info server.InfoResponse
 	if err := c.get("/info", &info); err != nil {
 		fmt.Fprintf(os.Stderr, "tagserve: %v\n", err)

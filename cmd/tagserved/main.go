@@ -7,11 +7,22 @@
 //
 //	tagserved [-addr :8377] [-n 1000] [-seed 1] [-data DIR]
 //	          [-shards 0] [-strategy FP-MU] [-budget 0] [-wal DIR]
+//	          [-snap-interval 30s] [-snap-every 0]
+//
+// With -wal the service is durable: every acknowledged post is
+// group-committed to a segmented log before it mutates engine state, a
+// background snapshotter (interval and/or record-count policy) bounds
+// both recovery time and on-disk log size, and a restart on the same
+// directory RECOVERS — newest valid snapshot plus the log tail — before
+// serving. The listener binds immediately so /healthz answers during
+// recovery (503 until replay completes, 200 after); every other
+// endpoint refuses with 503 until the service is ready.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests finish, then the WAL (when configured) is flushed and
-// closed. The listen address is printed to stderr once the listener is
-// bound, so callers binding port 0 can discover the port.
+// requests finish, then a final snapshot is written and the WAL (when
+// configured) is flushed and closed. The listen address is printed to
+// stderr once the listener is bound, so callers binding port 0 can
+// discover the port.
 package main
 
 import (
@@ -42,11 +53,31 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards (0 = default)")
 	stratName := flag.String("strategy", "FP-MU", "incentive allocation strategy")
 	budget := flag.Int("budget", 0, "total incentive budget in reward units (0 = unlimited)")
-	walDir := flag.String("wal", "", "directory for the durable post log (empty = no WAL)")
+	walDir := flag.String("wal", "", "directory for the durable post log + snapshots (empty = no durability)")
+	snapInterval := flag.Duration("snap-interval", 30*time.Second, "background snapshot interval (negative disables)")
+	snapEvery := flag.Int("snap-every", 0, "also snapshot every this many logged posts (0 = interval only)")
 	flag.Parse()
 
+	srv, err := server.NewDeferred(server.Config{
+		Strategy: *stratName,
+		Budget:   *budget,
+	})
+	if err != nil {
+		fail("server: %v", err)
+	}
+
+	// Bind before the (possibly long) corpus load and WAL recovery:
+	// /healthz answers 503 throughout, so restart scripts can wait on
+	// readiness instead of racing the replay.
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tagserved: listening on %s (recovering)\n", l.Addr())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
 	var ds *incentivetag.Dataset
-	var err error
 	if *dataDir != "" {
 		ds, err = incentivetag.LoadDataset(*dataDir)
 	} else {
@@ -56,33 +87,26 @@ func main() {
 		fail("corpus: %v", err)
 	}
 	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
-		Shards:   *shards,
-		Strategy: *stratName,
-		Seed:     *seed,
-		WALDir:   *walDir,
+		Shards:           *shards,
+		Strategy:         *stratName,
+		Seed:             *seed,
+		WALDir:           *walDir,
+		SnapshotInterval: *snapInterval,
+		SnapshotEvery:    *snapEvery,
 	})
 	if err != nil {
 		fail("service: %v", err)
 	}
-	srv, err := server.New(server.Config{
-		Service:     svc,
-		Strategy:    *stratName,
-		TagUniverse: ds.Vocab.Size(),
-		Budget:      *budget,
-	})
-	if err != nil {
-		fail("server: %v", err)
+	if err := srv.Install(svc, ds.Vocab.Size()); err != nil {
+		fail("install: %v", err)
 	}
-
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail("listen: %v", err)
+	rec := svc.RecoveryStats()
+	if rec.Recovered {
+		fmt.Fprintf(os.Stderr, "tagserved: recovered %d posts (snapshot seq %d, %d records replayed, %d KiB read) in %d ms\n",
+			rec.RecoveredPosts, rec.SnapshotSeq, rec.ReplayedRecords, rec.ReplayBytes>>10, rec.ReplayMillis)
 	}
 	fmt.Fprintf(os.Stderr, "tagserved: serving %d resources (|T|=%d, strategy %s) on %s\n",
 		ds.N(), ds.Vocab.Size(), *stratName, l.Addr())
-
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(l) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -101,7 +125,7 @@ func main() {
 			fail("serve: %v", err)
 		}
 	}
-	// WAL flush strictly after the last request's write.
+	// Final snapshot + WAL flush strictly after the last request's write.
 	if err := svc.Close(); err != nil {
 		fail("close: %v", err)
 	}

@@ -32,8 +32,10 @@
 //     (Service): lock-striped Ingest from any number of goroutines, the
 //     Allocate/Complete incentive loop of Algorithm 1 against live
 //     state, and O(1) aggregate metric reads (Quality, Snapshot) backed
-//     by incrementally maintained quality sums — with an optional
-//     crash-safe write-ahead post log (ServiceOptions.WALDir).
+//     by incrementally maintained quality sums — with optional full
+//     durability (ServiceOptions.WALDir): a segmented write-ahead post
+//     log plus engine snapshots, background compaction, and crash
+//     recovery that rebuilds the exact pre-crash engine.
 //
 // # Hot path & batching
 //
@@ -56,8 +58,34 @@
 //
 // cmd/tagbench measures the pipeline (single-thread baseline vs batched
 // dense, a shards×workers throughput matrix, allocations per post, WAL
-// group-commit gains) and records it in BENCH_engine.json; README.md
-// documents the report's fields.
+// group-commit gains, snapshot+tail vs full-replay recovery) and
+// records it in BENCH_engine.json; README.md documents the report's
+// fields.
+//
+// # Durability
+//
+// A Service with ServiceOptions.WALDir set never loses an acknowledged
+// post. Every ingest is framed, CRC'd and flushed to the OS in a
+// size-rotated segment log (internal/tagstore, MANIFEST-catalogued,
+// with implicit per-record sequence numbers) before engine state
+// mutates — batched ingest amortizes this to one group-commit write
+// per shard batch, which is the visibility guarantee: 200 means
+// recoverable. A background snapshotter (interval and/or record-count
+// policy, ServiceOptions.SnapshotInterval/SnapshotEvery) periodically
+// exports the engine's complete state — count supports plus the exact
+// float internals of the MA windows and quality accumulators — into a
+// versioned, checksummed snapshot file, then drops the log segments
+// the snapshot covers and prunes old snapshots, bounding both restart
+// time and disk footprint. NewService on a non-empty WALDir recovers:
+// newest valid snapshot (damaged ones are skipped), then the log tail,
+// yielding an engine bit-identical to the pre-crash one — asserted in
+// tests against both a full-replay oracle and continued identical
+// traffic. Mismatched corpora or options fail loudly instead of
+// silently diverging. SnapshotNow forces a cycle (POST /admin/snapshot
+// over HTTP); Close writes a final snapshot; RecoveryStats reports
+// what recovery did. The tagserved readiness gate (GET /healthz)
+// answers 503 until replay completes, so restart-under-load scripts
+// never race recovery.
 //
 // # Quick start
 //

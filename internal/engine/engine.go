@@ -372,6 +372,13 @@ func (e *Engine) Ingest(i int, p tags.Post) error {
 	if e.cfg.WAL != nil {
 		e.walMu.Lock()
 		err := e.cfg.WAL.Append(uint32(i), p) // cast safe: New enforces walCapacityOK
+		if err == nil {
+			// Commit visibility: the record reaches the OS before the
+			// ingest is acknowledged, so a killed process never loses an
+			// acknowledged post (fsync for OS-crash durability is the
+			// store's SyncOnFlush option).
+			err = e.cfg.WAL.Flush()
+		}
 		e.walMu.Unlock()
 		if err != nil {
 			return fmt.Errorf("engine: wal: %w", err)
@@ -524,6 +531,11 @@ func (e *Engine) commitWALBatch(sh *shard) error {
 	}
 	e.walMu.Lock()
 	err := e.cfg.WAL.AppendBatch(&sh.walBatch)
+	if err == nil {
+		// One group-commit flush per shard batch: every record of the
+		// batch reaches the OS before any of its posts is acknowledged.
+		err = e.cfg.WAL.Flush()
+	}
 	e.walMu.Unlock()
 	sh.walBatch.Reset()
 	if err != nil {

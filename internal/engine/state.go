@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/stability"
+	"incentivetag/internal/tags"
+	"incentivetag/internal/tagstore"
+)
+
+// stateVersion is bumped on incompatible State encoding changes;
+// UnmarshalBinary rejects unknown versions loudly instead of misreading.
+const stateVersion = 1
+
+// State is the complete serializable engine state: everything needed to
+// rebuild an engine that is bit-identical to the one exported — same
+// per-resource counts, MA windows, qualities, and aggregate metrics, so
+// a snapshot plus the WAL records with seq > LastSeq replays to exactly
+// the pre-crash engine.
+//
+// Derived integers (reference dot products, over-/under-tagged flags,
+// norms, masses) are deliberately NOT stored: they are exact integer
+// functions of the stored counts and are recomputed at restore, which
+// both shrinks snapshots and turns a corrupted count into a loud
+// inconsistency instead of a silently wrong metric. Floats with rounding
+// history (MA rings and running sums, shard quality accumulators) ARE
+// stored, bit for bit — recomputing them would drift from the exported
+// engine by reassociation.
+type State struct {
+	// Omega, Shards, UnderThreshold and TagUniverse mirror the Config of
+	// the exporting engine; restore demands an identical configuration.
+	Omega          int
+	Shards         int
+	UnderThreshold int
+	TagUniverse    int
+	// LastSeq is the WAL sequence number this state covers: every record
+	// with seq ≤ LastSeq is reflected in it (0 when no WAL is attached).
+	LastSeq uint64
+	// Resources holds per-resource state in global index order.
+	Resources []ResourceState
+	// Aggregates holds per-shard metric accumulators in shard order.
+	Aggregates []ShardAggregate
+}
+
+// ResourceState is one resource's exported state.
+type ResourceState struct {
+	// Posts is the tracker's accumulated post count (primed + ingested).
+	Posts int
+	// Tags/Counts are the count vector's non-zero support, parallel,
+	// ascending by tag.
+	Tags   []tags.Tag
+	Counts []int64
+	// Ring, Head, Fill and Sum are the MA window internals
+	// (stability.Tracker.ExportRing).
+	Ring []float64
+	Head int
+	Fill int
+	Sum  float64
+}
+
+// ShardAggregate is one shard's exported metric accumulators. Over- and
+// under-tagged counts are recomputed from resource state at restore.
+type ShardAggregate struct {
+	QSum   float64
+	QComp  float64
+	Spent  int
+	Posts  int
+	Wasted int
+}
+
+// ExportState captures a consistent cut of the engine: all shard locks
+// are held for the duration, so no post is ever half-reflected, and the
+// recorded LastSeq is exactly the set of WAL records the state covers
+// (WAL appends happen under a shard lock, so a lock-stopped engine has
+// applied every record it logged).
+func (e *Engine) ExportState() *State {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range e.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	st := &State{
+		Omega:          e.cfg.Omega,
+		Shards:         len(e.shards),
+		UnderThreshold: e.cfg.UnderThreshold,
+		TagUniverse:    e.cfg.TagUniverse,
+		Resources:      make([]ResourceState, e.n),
+		Aggregates:     make([]ShardAggregate, 0, len(e.shards)),
+	}
+	if e.cfg.WAL != nil {
+		e.walMu.Lock()
+		st.LastSeq = e.cfg.WAL.LastSeq()
+		e.walMu.Unlock()
+	}
+	for i := 0; i < e.n; i++ {
+		sh, l := e.locate(i)
+		r := sh.res[l]
+		rs := &st.Resources[i]
+		rs.Posts = r.tracker.Posts()
+		rs.Tags, rs.Counts = r.tracker.Counts().Entries(nil, nil)
+		rs.Ring, rs.Head, rs.Fill, rs.Sum = r.tracker.ExportRing()
+	}
+	for _, sh := range e.shards {
+		st.Aggregates = append(st.Aggregates, ShardAggregate{
+			QSum: sh.qsum, QComp: sh.qcomp,
+			Spent: sh.spent, Posts: sh.posts, Wasted: sh.wasted,
+		})
+	}
+	return st
+}
+
+// NewFromState rebuilds an engine from an exported State instead of
+// replaying each spec's Initial prefix. The specs supply what a snapshot
+// never stores — references, stable points, task costs — and must
+// describe the same corpus the exporting engine was built over; the
+// configuration must match the exporting engine's exactly. Violations
+// fail loudly: a snapshot restored against the wrong corpus or options
+// must never silently diverge.
+func NewFromState(cfg Config, specs []ResourceSpec, st *State) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Omega < 2 {
+		return nil, fmt.Errorf("engine: omega must be ≥ 2, got %d", cfg.Omega)
+	}
+	if st == nil {
+		return nil, fmt.Errorf("engine: nil state")
+	}
+	if st.Omega != cfg.Omega || st.Shards != cfg.Shards ||
+		st.UnderThreshold != cfg.UnderThreshold || st.TagUniverse != cfg.TagUniverse {
+		return nil, fmt.Errorf("engine: state (omega=%d shards=%d under=%d universe=%d) does not match config (omega=%d shards=%d under=%d universe=%d)",
+			st.Omega, st.Shards, st.UnderThreshold, st.TagUniverse,
+			cfg.Omega, cfg.Shards, cfg.UnderThreshold, cfg.TagUniverse)
+	}
+	n := len(specs)
+	if len(st.Resources) != n {
+		return nil, fmt.Errorf("engine: state has %d resources, corpus has %d", len(st.Resources), n)
+	}
+	if len(st.Aggregates) != cfg.Shards {
+		return nil, fmt.Errorf("engine: state has %d shard aggregates for %d shards", len(st.Aggregates), cfg.Shards)
+	}
+	if cfg.WAL != nil && !walCapacityOK(n) {
+		return nil, fmt.Errorf("engine: %d resources overflow the WAL's 32-bit record ids", n)
+	}
+	e := &Engine{cfg: cfg, n: n, shards: make([]*shard, cfg.Shards)}
+	for s := range e.shards {
+		e.shards[s] = &shard{}
+	}
+	ingested := 0
+	for i, spec := range specs {
+		rs := &st.Resources[i]
+		if rs.Posts < len(spec.Initial) {
+			return nil, fmt.Errorf("engine: resource %d state has %d posts but the corpus primes %d — snapshot belongs to a different corpus", i, rs.Posts, len(spec.Initial))
+		}
+		counts, err := sparse.FromEntries(cfg.TagUniverse, rs.Tags, rs.Counts, rs.Posts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: resource %d: %w", i, err)
+		}
+		tracker, err := stability.RestoreTracker(cfg.Omega, counts, rs.Ring, rs.Head, rs.Fill, rs.Sum)
+		if err != nil {
+			return nil, fmt.Errorf("engine: resource %d: %w", i, err)
+		}
+		r := &resource{
+			tracker:  tracker,
+			stableK:  spec.StableK,
+			cost:     spec.Cost,
+			consumed: rs.Posts,
+		}
+		if r.cost == 0 {
+			r.cost = 1
+		}
+		if spec.Ref != nil {
+			rc := spec.Ref.Counts()
+			r.refCounts = rc
+			r.refNorm2 = rc.Norm2()
+			r.refPosts = rc.Posts()
+			v := spec.Ref.Vector()
+			r.refDense, r.refSpill = v.Dense, v.Spill
+			// The reference dot product is an exact integer sum over the
+			// stored support — bit-identical to the incrementally
+			// maintained value of the exported engine.
+			for k, t := range rs.Tags {
+				r.dot += rs.Counts[k] * v.Get(t)
+			}
+		}
+		r.quality = r.computeQuality()
+
+		sh := e.shards[i%cfg.Shards]
+		sh.res = append(sh.res, r)
+		if r.stableK > 0 && r.consumed >= r.stableK {
+			sh.over++
+		}
+		if cfg.UnderThreshold >= 0 && r.consumed <= cfg.UnderThreshold {
+			sh.under++
+		}
+		ingested += rs.Posts - len(spec.Initial)
+	}
+	posts := 0
+	for s, agg := range st.Aggregates {
+		sh := e.shards[s]
+		sh.qsum, sh.qcomp = agg.QSum, agg.QComp
+		sh.spent, sh.posts, sh.wasted = agg.Spent, agg.Posts, agg.Wasted
+		posts += agg.Posts
+	}
+	if posts != ingested {
+		return nil, fmt.Errorf("engine: state aggregates record %d ingested posts but resource counts imply %d — snapshot belongs to a different corpus", posts, ingested)
+	}
+	return e, nil
+}
+
+// Replay applies one recovered post to resource i without writing the
+// WAL — the record already sits in the log. It is the recovery twin of
+// Ingest: same validation, same metric deltas, no append. Replaying a
+// record that was already reflected in a restored snapshot would double
+// apply it; callers must feed only the WAL tail past State.LastSeq.
+func (e *Engine) Replay(i int, p tags.Post) error {
+	if i < 0 || i >= e.n {
+		return fmt.Errorf("engine: resource index %d out of range [0,%d)", i, e.n)
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("engine: empty post for resource %d", i)
+	}
+	sh, l := e.locate(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.applyLocked(sh.res[l], p, e.cfg.UnderThreshold)
+	return nil
+}
+
+// WithWAL runs fn with exclusive access to the engine's WAL store: no
+// ingest can append while fn runs. It is how the store's maintenance
+// operations (Flush, DropThrough, Stat) are driven safely while the
+// engine serves traffic. Returns an error when no WAL is configured.
+func (e *Engine) WithWAL(fn func(w *tagstore.Store) error) error {
+	if e.cfg.WAL == nil {
+		return fmt.Errorf("engine: no WAL configured")
+	}
+	e.walMu.Lock()
+	defer e.walMu.Unlock()
+	return fn(e.cfg.WAL)
+}
+
+// --- binary encoding -----------------------------------------------------
+
+// appendFloat encodes a float64 bit-exactly.
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// MarshalBinary renders the state as a compact, versioned byte payload
+// (the snapshot body tagstore.WriteSnapshot frames and checksums).
+// Integers are varint-encoded; tag ids are delta-encoded within each
+// resource (ascending order); floats are raw IEEE-754 bits.
+func (st *State) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 64+len(st.Resources)*64)
+	buf = binary.AppendUvarint(buf, stateVersion)
+	buf = binary.AppendUvarint(buf, uint64(st.Omega))
+	buf = binary.AppendUvarint(buf, uint64(st.Shards))
+	buf = binary.AppendVarint(buf, int64(st.UnderThreshold))
+	buf = binary.AppendUvarint(buf, uint64(st.TagUniverse))
+	buf = binary.AppendUvarint(buf, st.LastSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(st.Resources)))
+	for i := range st.Resources {
+		rs := &st.Resources[i]
+		if len(rs.Tags) != len(rs.Counts) {
+			return nil, fmt.Errorf("engine: resource %d has %d tags for %d counts", i, len(rs.Tags), len(rs.Counts))
+		}
+		buf = binary.AppendUvarint(buf, uint64(rs.Posts))
+		buf = binary.AppendUvarint(buf, uint64(len(rs.Tags)))
+		prev := int64(-1)
+		for k, t := range rs.Tags {
+			if int64(t) <= prev {
+				return nil, fmt.Errorf("engine: resource %d support not ascending", i)
+			}
+			buf = binary.AppendUvarint(buf, uint64(int64(t)-prev))
+			buf = binary.AppendUvarint(buf, uint64(rs.Counts[k]))
+			prev = int64(t)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rs.Ring)))
+		for _, f := range rs.Ring {
+			buf = appendFloat(buf, f)
+		}
+		buf = binary.AppendUvarint(buf, uint64(rs.Head))
+		buf = binary.AppendUvarint(buf, uint64(rs.Fill))
+		buf = appendFloat(buf, rs.Sum)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Aggregates)))
+	for _, agg := range st.Aggregates {
+		buf = appendFloat(buf, agg.QSum)
+		buf = appendFloat(buf, agg.QComp)
+		buf = binary.AppendUvarint(buf, uint64(agg.Spent))
+		buf = binary.AppendUvarint(buf, uint64(agg.Posts))
+		buf = binary.AppendUvarint(buf, uint64(agg.Wasted))
+	}
+	return buf, nil
+}
+
+// stateReader decodes the MarshalBinary layout with positioned errors.
+type stateReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *stateReader) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("engine: state: bad %s at offset %d", what, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *stateReader) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("engine: state: bad %s at offset %d", what, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *stateReader) float(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = fmt.Errorf("engine: state: truncated %s at offset %d", what, d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// maxStateSlice bounds decoded slice lengths against a corrupt varint
+// allocating unbounded memory.
+const maxStateSlice = 1 << 28
+
+func (d *stateReader) length(what string) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > maxStateSlice {
+		d.err = fmt.Errorf("engine: state: implausible %s length %d", what, v)
+	}
+	return int(v)
+}
+
+// UnmarshalState decodes a MarshalBinary payload, rejecting unknown
+// versions and any structural damage.
+func UnmarshalState(payload []byte) (*State, error) {
+	d := &stateReader{buf: payload}
+	if v := d.uvarint("version"); d.err == nil && v != stateVersion {
+		return nil, fmt.Errorf("engine: state version %d not supported (want %d)", v, stateVersion)
+	}
+	st := &State{
+		Omega:          int(d.uvarint("omega")),
+		Shards:         int(d.uvarint("shards")),
+		UnderThreshold: int(d.varint("under threshold")),
+		TagUniverse:    int(d.uvarint("tag universe")),
+		LastSeq:        d.uvarint("last seq"),
+	}
+	n := d.length("resource count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	st.Resources = make([]ResourceState, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		rs := &st.Resources[i]
+		rs.Posts = int(d.uvarint("posts"))
+		nt := d.length("support size")
+		if d.err != nil {
+			break
+		}
+		rs.Tags = make([]tags.Tag, nt)
+		rs.Counts = make([]int64, nt)
+		prev := int64(-1)
+		for k := 0; k < nt && d.err == nil; k++ {
+			prev += int64(d.uvarint("tag delta"))
+			if prev > int64(math.MaxInt32) {
+				d.err = fmt.Errorf("engine: state: tag id %d overflows", prev)
+				break
+			}
+			rs.Tags[k] = tags.Tag(prev)
+			rs.Counts[k] = int64(d.uvarint("count"))
+		}
+		nr := d.length("ring size")
+		if d.err != nil {
+			break
+		}
+		rs.Ring = make([]float64, nr)
+		for k := 0; k < nr && d.err == nil; k++ {
+			rs.Ring[k] = d.float("ring entry")
+		}
+		rs.Head = int(d.uvarint("ring head"))
+		rs.Fill = int(d.uvarint("ring fill"))
+		rs.Sum = d.float("ring sum")
+	}
+	na := d.length("aggregate count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	st.Aggregates = make([]ShardAggregate, na)
+	for s := 0; s < na && d.err == nil; s++ {
+		agg := &st.Aggregates[s]
+		agg.QSum = d.float("qsum")
+		agg.QComp = d.float("qcomp")
+		agg.Spent = int(d.uvarint("spent"))
+		agg.Posts = int(d.uvarint("posts"))
+		agg.Wasted = int(d.uvarint("wasted"))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("engine: state: %d trailing bytes", len(payload)-d.off)
+	}
+	return st, nil
+}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"incentivetag/internal/quality"
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// stateSpecs builds a small synthetic corpus of engine specs with
+// references, initial prefixes and stable points.
+func stateSpecs(n int, seed int64) []ResourceSpec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]ResourceSpec, n)
+	for i := range specs {
+		ref := sparse.NewCounts()
+		var initial tags.Seq
+		for k := 0; k < 8+rng.Intn(8); k++ {
+			p := testPost(rng)
+			ref.Add(p)
+			if k < 4 {
+				initial = append(initial, p)
+			}
+		}
+		specs[i] = ResourceSpec{
+			Initial: initial,
+			Ref:     quality.NewReference(ref),
+			StableK: 6 + rng.Intn(10),
+		}
+	}
+	return specs
+}
+
+func testPost(rng *rand.Rand) tags.Post {
+	n := 1 + rng.Intn(4)
+	ts := make([]tags.Tag, n)
+	for i := range ts {
+		ts[i] = tags.Tag(rng.Intn(300))
+	}
+	p, err := tags.NewPost(ts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// assertEnginesBitIdentical compares every observable float and counter.
+func assertEnginesBitIdentical(t *testing.T, a, b *Engine) {
+	t.Helper()
+	ma, mb := a.Snapshot(), b.Snapshot()
+	if ma != mb {
+		t.Fatalf("metric snapshots differ:\n%+v\n%+v", ma, mb)
+	}
+	for i := 0; i < a.N(); i++ {
+		if qa, qb := a.QualityOf(i), b.QualityOf(i); qa != qb {
+			t.Fatalf("resource %d quality %v != %v", i, qa, qb)
+		}
+		if ca, cb := a.Count(i), b.Count(i); ca != cb {
+			t.Fatalf("resource %d count %d != %d", i, ca, cb)
+		}
+		maa, oka := a.MA(i)
+		mab, okb := b.MA(i)
+		if oka != okb || math.Float64bits(maa) != math.Float64bits(mab) {
+			t.Fatalf("resource %d MA (%v,%v) != (%v,%v)", i, maa, oka, mab, okb)
+		}
+	}
+	va, vb := a.VerifyMetrics(), b.VerifyMetrics()
+	if va != vb {
+		t.Fatalf("verify metrics differ:\n%+v\n%+v", va, vb)
+	}
+}
+
+func TestExportRestoreBitIdentical(t *testing.T) {
+	for _, universe := range []int{0, 512} {
+		specs := stateSpecs(64, 7)
+		cfg := Config{Omega: 5, Shards: 4, UnderThreshold: 10, TagUniverse: universe}
+		live, err := New(cfg, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for k := 0; k < 1500; k++ {
+			if err := live.Ingest(rng.Intn(64), testPost(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Round-trip through the binary encoding, as recovery does.
+		payload, err := live.ExportState().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := UnmarshalState(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := NewFromState(cfg, specs, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEnginesBitIdentical(t, live, restored)
+
+		// Both engines must stay in lockstep under further identical
+		// traffic — the restored state carries the full rounding history,
+		// not just a value-equal approximation.
+		for k := 0; k < 800; k++ {
+			i, p := rng.Intn(64), testPost(rng)
+			if err := live.Ingest(i, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Ingest(i, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertEnginesBitIdentical(t, live, restored)
+	}
+}
+
+func TestReplayMatchesIngest(t *testing.T) {
+	specs := stateSpecs(32, 3)
+	cfg := Config{Omega: 5, Shards: 4, UnderThreshold: 10}
+	a, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for k := 0; k < 600; k++ {
+		i, p := rng.Intn(32), testPost(rng)
+		if err := a.Ingest(i, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Replay(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertEnginesBitIdentical(t, a, b)
+	if err := b.Replay(-1, tags.MustPost(1)); err == nil {
+		t.Fatal("out-of-range replay accepted")
+	}
+	if err := b.Replay(0, nil); err == nil {
+		t.Fatal("empty replay accepted")
+	}
+}
+
+func TestNewFromStateValidation(t *testing.T) {
+	specs := stateSpecs(16, 11)
+	cfg := Config{Omega: 5, Shards: 2, UnderThreshold: 10}
+	eng, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 100; k++ {
+		if err := eng.Ingest(rng.Intn(16), testPost(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.ExportState()
+
+	cases := []struct {
+		name string
+		cfg  Config
+		sp   []ResourceSpec
+		st   *State
+	}{
+		{"omega mismatch", Config{Omega: 7, Shards: 2, UnderThreshold: 10}, specs, st},
+		{"shards mismatch", Config{Omega: 5, Shards: 4, UnderThreshold: 10}, specs, st},
+		{"threshold mismatch", Config{Omega: 5, Shards: 2, UnderThreshold: 3}, specs, st},
+		{"universe mismatch", Config{Omega: 5, Shards: 2, UnderThreshold: 10, TagUniverse: 64}, specs, st},
+		{"resource count mismatch", cfg, specs[:8], st},
+		{"nil state", cfg, specs, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewFromState(tc.cfg, tc.sp, tc.st); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// A different corpus (longer initial prefixes than the state's post
+	// counts) must be rejected, not silently adopted.
+	bigger := stateSpecs(16, 12)
+	for i := range bigger {
+		for len(bigger[i].Initial) < 200 {
+			bigger[i].Initial = append(bigger[i].Initial, bigger[i].Initial[0])
+		}
+	}
+	if _, err := NewFromState(cfg, bigger, st); err == nil {
+		t.Error("state restored against a corpus with longer primed prefixes")
+	}
+
+	// Corrupt payloads must fail decode, never half-restore.
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalState(payload[:len(payload)/2]); err == nil {
+		t.Error("truncated state decoded")
+	}
+	if _, err := UnmarshalState(append(payload, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestExportStateConcurrentWithIngest(t *testing.T) {
+	specs := stateSpecs(64, 21)
+	eng, err := New(Config{Omega: 5, Shards: 8, UnderThreshold: 10}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := eng.Ingest(rng.Intn(64), testPost(rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for k := 0; k < 20; k++ {
+		st := eng.ExportState()
+		// A consistent cut: aggregate posts must equal the sum of
+		// per-resource ingested counts at the cut.
+		posts, implied := 0, 0
+		for _, agg := range st.Aggregates {
+			posts += agg.Posts
+		}
+		for i := range st.Resources {
+			implied += st.Resources[i].Posts - len(specs[i].Initial)
+		}
+		if posts != implied {
+			t.Fatalf("inconsistent cut: aggregates say %d posts, resources imply %d", posts, implied)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

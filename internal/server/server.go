@@ -3,18 +3,27 @@
 // Internet crowds tag resources and the incentive allocator hands out
 // paid post tasks. It exposes the full serving loop —
 //
-//	POST /ingest    organic posts, single or batched
-//	POST /allocate  lease the next incentivized post task (CHOOSE)
-//	POST /complete  fulfill a lease with the worker's post (UPDATE)
-//	POST /expire    abandon a lease, re-arming its resource
-//	GET  /metrics   O(1) aggregate metric snapshot + lease census
-//	GET  /topk      top-k similar resources from live rfd state
-//	GET  /info      corpus/strategy facts a load generator needs
+//	POST /ingest          organic posts, single or batched
+//	POST /allocate        lease the next incentivized post task (CHOOSE)
+//	POST /complete        fulfill a lease with the worker's post (UPDATE)
+//	POST /expire          abandon a lease, re-arming its resource
+//	POST /admin/snapshot  force a snapshot/compaction cycle now
+//	GET  /metrics         O(1) aggregate metric snapshot + lease census
+//	GET  /topk            top-k similar resources from live rfd state
+//	GET  /info            corpus/strategy facts + durability/recovery stats
+//	GET  /healthz         readiness gate: 200 only once recovery completed
 //
 // — and is safe for arbitrary client concurrency: ingest scales across
 // the engine's shards, allocation is serialized inside the lease
 // allocator, and every outstanding lease is owned by exactly one HTTP
 // client at a time.
+//
+// A server can start serving before its Service exists: NewDeferred
+// binds the route table immediately, every endpoint except /healthz
+// answers 503 while recovery runs, and Install flips the gate once the
+// recovered Service is ready. That is what lets a restarted tagserved
+// accept health probes during a long WAL replay without ever exposing
+// half-recovered state.
 //
 // The server tracks the incentive budget: /allocate reserves the
 // task's reward-unit cost when the lease is handed out (so concurrent
@@ -34,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	incentivetag "incentivetag"
@@ -45,7 +55,8 @@ const maxBody = 8 << 20
 
 // Config assembles a Server.
 type Config struct {
-	// Service is the live tagging service to expose. Required.
+	// Service is the live tagging service to expose. Required for New;
+	// NewDeferred accepts nil and expects a later Install.
 	Service *incentivetag.Service
 	// Strategy is the allocation policy name, advertised via /info.
 	Strategy string
@@ -55,14 +66,28 @@ type Config struct {
 	// Budget is the total incentive budget in reward units; fulfilled
 	// tasks consume it and /allocate refuses once it is gone. 0 means
 	// unlimited.
+	//
+	// The budget ledger is a PER-PROCESS serving policy, not durable
+	// state: the WAL records posts, not lease lifecycles, so a restarted
+	// server cannot tell recovered allocated posts from organic ones and
+	// starts a fresh ledger. A deployment that must cap spend across
+	// restarts should set Budget to what remains (total minus the spend
+	// it has accounted externally) when relaunching.
 	Budget int
 }
 
-// Server is the HTTP front-end. Create with New; serve either through
-// Handler (e.g. httptest) or ListenAndServe/Shutdown.
+// Server is the HTTP front-end. Create with New (service ready up
+// front) or NewDeferred + Install (serve /healthz while recovery runs);
+// serve either through Handler (e.g. httptest) or
+// ListenAndServe/Shutdown.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+
+	// svc is the installed service; nil until Install (or New, which
+	// installs immediately). Handlers load it atomically: a nil load is
+	// the not-ready state and answers 503.
+	svc atomic.Pointer[incentivetag.Service]
 
 	// Budget accounting. reserved holds the cost of outstanding leases:
 	// /allocate reserves under budgetMu before leasing (check and
@@ -77,24 +102,79 @@ type Server struct {
 	hs *http.Server
 }
 
-// New validates the configuration and builds the route table.
+// New validates the configuration and builds the route table with the
+// service ready immediately.
 func New(cfg Config) (*Server, error) {
 	if cfg.Service == nil {
 		return nil, fmt.Errorf("server: nil Service")
 	}
+	svc := cfg.Service
+	cfg.Service = nil
+	s, err := NewDeferred(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Install(svc, cfg.TagUniverse); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewDeferred builds the route table without a service: every endpoint
+// except /healthz answers 503 until Install provides one. This is the
+// restart path — the listener binds (and health probes get truthful
+// not-ready answers) while the service recovers its durable state.
+func NewDeferred(cfg Config) (*Server, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("server: negative budget %d", cfg.Budget)
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Service != nil {
+		return nil, fmt.Errorf("server: NewDeferred with a Service; use New")
+	}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /allocate", s.handleAllocate)
 	s.mux.HandleFunc("POST /complete", s.handleComplete)
 	s.mux.HandleFunc("POST /expire", s.handleExpire)
+	s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /topk", s.handleTopK)
 	s.mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
+
+// Install provides the (recovered) service and flips the readiness
+// gate. tagUniverse is |T| of the corpus the service was built over,
+// unknown before the corpus loads on the deferred path. Install may run
+// at most once.
+func (s *Server) Install(svc *incentivetag.Service, tagUniverse int) error {
+	if svc == nil {
+		return fmt.Errorf("server: installing nil Service")
+	}
+	if tagUniverse != 0 {
+		// Written before the atomic svc store, read after an atomic svc
+		// load — the store/load pair orders this safely.
+		s.cfg.TagUniverse = tagUniverse
+	}
+	if !s.svc.CompareAndSwap(nil, svc) {
+		return fmt.Errorf("server: service already installed")
+	}
+	return nil
+}
+
+// service returns the installed service, or nil after answering 503 —
+// the single readiness check every state-touching handler goes through.
+func (s *Server) service(w http.ResponseWriter) *incentivetag.Service {
+	svc := s.svc.Load()
+	if svc == nil {
+		writeError(w, http.StatusServiceUnavailable, "service recovering; poll /healthz")
+	}
+	return svc
+}
+
+// Ready reports whether the service has been installed.
+func (s *Server) Ready() bool { return s.svc.Load() != nil }
 
 // Handler returns the route table as an http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -243,6 +323,15 @@ type InfoResponse struct {
 	TagUniverse int    `json:"tag_universe"`
 	Strategy    string `json:"strategy"`
 	Budget      int    `json:"budget"` // 0 = unlimited
+	Ready       bool   `json:"ready"`
+	// Recovery reports what the service's boot-time recovery did plus
+	// the live snapshot/compaction counters.
+	Recovery incentivetag.RecoveryStats `json:"recovery"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Ready bool `json:"ready"`
 }
 
 // ErrorResponse carries a client- or server-side failure.
@@ -284,6 +373,10 @@ func post(ts []int32) (incentivetag.Post, error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	var req IngestRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -299,7 +392,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if err := s.ingest(w, func() error { return s.cfg.Service.Ingest(req.Resource, p) }); err == nil {
+		if err := s.ingest(w, func() error { return svc.Ingest(req.Resource, p) }); err == nil {
 			writeJSON(w, http.StatusOK, IngestResponse{Ingested: 1})
 		}
 		return
@@ -313,7 +406,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		events[k] = incentivetag.PostEvent{Resource: ev.Resource, Post: p}
 	}
-	if err := s.ingest(w, func() error { return s.cfg.Service.IngestMany(events) }); err == nil {
+	if err := s.ingest(w, func() error { return svc.IngestMany(events) }); err == nil {
 		writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(events)})
 	}
 }
@@ -337,6 +430,10 @@ func (s *Server) ingest(w http.ResponseWriter, fn func() error) error {
 }
 
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	var req AllocateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -356,13 +453,13 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, AllocateResponse{OK: false})
 		return
 	}
-	i, lease, ok := s.cfg.Service.Lease(remaining)
+	i, lease, ok := svc.Lease(remaining)
 	if !ok {
 		s.budgetMu.Unlock()
 		writeJSON(w, http.StatusOK, AllocateResponse{OK: false})
 		return
 	}
-	cost := s.cfg.Service.CostOf(i)
+	cost := svc.CostOf(i)
 	s.reserved += cost
 	s.budgetMu.Unlock()
 	writeJSON(w, http.StatusOK, AllocateResponse{
@@ -388,6 +485,10 @@ func (s *Server) remainingBudgetLocked() int {
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	var req CompleteRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -401,10 +502,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	// resource; after Fulfill the lease is gone. If a racing settle wins,
 	// Fulfill errors and nothing is charged or released.
 	cost := 1
-	if i, ok := s.cfg.Service.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
-		cost = s.cfg.Service.CostOf(i)
+	if i, ok := svc.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
+		cost = svc.CostOf(i)
 	}
-	if err := s.cfg.Service.Fulfill(incentivetag.LeaseID(req.Lease), p); err != nil {
+	if err := svc.Fulfill(incentivetag.LeaseID(req.Lease), p); err != nil {
 		if strings.Contains(err.Error(), "lease") {
 			// Unknown or already settled: a client protocol error; the
 			// reservation (if any) belongs to whoever settles it.
@@ -427,6 +528,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	var req ExpireRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -434,10 +539,10 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 	// As in /complete: capture the cost while the lease is alive, and
 	// release its reservation only if this call is the one that settles.
 	cost := 1
-	if i, ok := s.cfg.Service.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
-		cost = s.cfg.Service.CostOf(i)
+	if i, ok := svc.LeaseResource(incentivetag.LeaseID(req.Lease)); ok {
+		cost = svc.CostOf(i)
 	}
-	if err := s.cfg.Service.Expire(incentivetag.LeaseID(req.Lease)); err != nil {
+	if err := svc.Expire(incentivetag.LeaseID(req.Lease)); err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -448,8 +553,12 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.cfg.Service.Snapshot()
-	st := s.cfg.Service.AllocStats()
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
+	m := svc.Snapshot()
+	st := svc.AllocStats()
 	s.budgetMu.Lock()
 	spent := s.spent
 	rem := -1
@@ -476,10 +585,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	q := r.URL.Query()
 	subject, err := strconv.Atoi(q.Get("resource"))
-	if err != nil || subject < 0 || subject >= s.cfg.Service.N() {
-		writeError(w, http.StatusBadRequest, "resource must be an index in [0,%d)", s.cfg.Service.N())
+	if err != nil || subject < 0 || subject >= svc.N() {
+		writeError(w, http.StatusBadRequest, "resource must be an index in [0,%d)", svc.N())
 		return
 	}
 	k := 10
@@ -491,7 +604,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	// Point-in-time index over the live rfd state: O(n·|tags|) — a
 	// case-study query, not a hot path.
-	idx := incentivetag.NewSimilarityIndex(s.cfg.Service.SnapshotRFDs())
+	idx := incentivetag.NewSimilarityIndex(svc.SnapshotRFDs())
 	scored := idx.TopK(subject, k)
 	out := TopKResponse{Resource: subject, Top: make([]TopKEntry, len(scored))}
 	for i, sc := range scored {
@@ -501,10 +614,41 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, InfoResponse{
-		N:           s.cfg.Service.N(),
+		N:           svc.N(),
 		TagUniverse: s.cfg.TagUniverse,
 		Strategy:    s.cfg.Strategy,
 		Budget:      s.cfg.Budget,
+		Ready:       true,
+		Recovery:    svc.RecoveryStats(),
 	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The one endpoint that answers before Install: the readiness gate
+	// restart scripts and load generators wait on.
+	if s.svc.Load() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Ready: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Ready: true})
+}
+
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
+	res, err := svc.SnapshotNow()
+	if err != nil {
+		// No WAL configured (or the snapshot write failed): an operator
+		// mistake or an I/O fault, not a client schema problem.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }

@@ -356,6 +356,90 @@ func (c *Counts) AddWithAdjacent(p tags.Post) float64 {
 	return AdjacentCosine(norm2Before, overlap, len(p))
 }
 
+// FromEntries rebuilds a count vector from its non-zero support — the
+// snapshot-restore path. ts/ns are parallel (tag, count) pairs; posts is
+// the accumulated post count k. universe > 0 selects the hybrid
+// representation sized as NewHybridCounts would (the serving engine's
+// choice); 0 selects the map form. The derived invariants (norm², mass,
+// dense/spill placement) are sums and products of integers far below
+// 2⁵³, so the rebuilt vector is bit-identical to the one that was
+// exported, regardless of entry order.
+func FromEntries(universe int, ts []tags.Tag, ns []int64, posts int) (*Counts, error) {
+	if len(ts) != len(ns) {
+		return nil, fmt.Errorf("sparse: %d tags for %d counts", len(ts), len(ns))
+	}
+	var c *Counts
+	if universe > 0 {
+		c = NewHybridCounts(universe)
+	} else {
+		c = NewCounts()
+	}
+	for i, t := range ts {
+		n := ns[i]
+		if n <= 0 || n > int64(posts) {
+			return nil, fmt.Errorf("sparse: tag %d count %d outside (0,%d]", t, n, posts)
+		}
+		if c.hybrid {
+			if ti := int(t); ti >= 0 && ti < DenseTagCap {
+				if n > math.MaxInt32 {
+					return nil, fmt.Errorf("sparse: tag %d count %d overflows the dense base", t, n)
+				}
+				if ti >= len(c.d) {
+					c.grow(ti)
+				}
+				if c.d[ti] != 0 {
+					return nil, fmt.Errorf("sparse: duplicate entry for tag %d", t)
+				}
+				c.d[ti] = int32(n)
+				c.dn++
+			} else {
+				if c.m == nil {
+					c.m = make(map[tags.Tag]int64)
+				}
+				if _, dup := c.m[t]; dup {
+					return nil, fmt.Errorf("sparse: duplicate entry for tag %d", t)
+				}
+				c.m[t] = n
+			}
+		} else {
+			if _, dup := c.m[t]; dup {
+				return nil, fmt.Errorf("sparse: duplicate entry for tag %d", t)
+			}
+			c.m[t] = n
+		}
+		c.norm2 += float64(n) * float64(n)
+		c.mass += n
+	}
+	c.posts = posts
+	return c, nil
+}
+
+// Entries appends the non-zero (tag, count) support to the given slices
+// in ascending tag order — the export counterpart of FromEntries.
+func (c *Counts) Entries(ts []tags.Tag, ns []int64) ([]tags.Tag, []int64) {
+	start := len(ts)
+	c.forEach(func(t tags.Tag, n int64) {
+		ts = append(ts, t)
+		ns = append(ns, n)
+	})
+	added := ts[start:]
+	addedNs := ns[start:]
+	sort.Sort(&entrySorter{ts: added, ns: addedNs})
+	return ts, ns
+}
+
+type entrySorter struct {
+	ts []tags.Tag
+	ns []int64
+}
+
+func (e *entrySorter) Len() int           { return len(e.ts) }
+func (e *entrySorter) Less(i, j int) bool { return e.ts[i] < e.ts[j] }
+func (e *entrySorter) Swap(i, j int) {
+	e.ts[i], e.ts[j] = e.ts[j], e.ts[i]
+	e.ns[i], e.ns[j] = e.ns[j], e.ns[i]
+}
+
 // FromSeq builds counts by accumulating the first k posts of seq.
 // It panics if k exceeds len(seq).
 func FromSeq(seq tags.Seq, k int) *Counts {

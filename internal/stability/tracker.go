@@ -61,6 +61,47 @@ func NewTrackerSized(omega, universe int) *Tracker {
 	return tr
 }
 
+// RestoreTracker rebuilds a tracker from exported state: the count
+// vector plus the MA window internals (ring of the last ω−1 adjacent
+// similarities, its write head, fill level, and the incrementally
+// maintained running sum). The sum must be the exported value, not a
+// fresh Σring — the sliding-window recurrence accumulates its own
+// rounding history, and restoring anything else would break bit-exact
+// equivalence with the tracker that was exported. The ring slice is
+// copied; counts are adopted as-is.
+func RestoreTracker(omega int, counts *sparse.Counts, ring []float64, head, fill int, sum float64) (*Tracker, error) {
+	if omega < 2 {
+		return nil, fmt.Errorf("stability: omega must be ≥ 2, got %d", omega)
+	}
+	if counts == nil {
+		return nil, fmt.Errorf("stability: nil counts")
+	}
+	if len(ring) != omega-1 {
+		return nil, fmt.Errorf("stability: ring has %d entries for omega %d", len(ring), omega)
+	}
+	if head < 0 || head >= len(ring) || fill < 0 || fill > len(ring) {
+		return nil, fmt.Errorf("stability: ring head %d / fill %d out of range for omega %d", head, fill, omega)
+	}
+	tr := &Tracker{
+		omega:  omega,
+		counts: counts,
+		ring:   make([]float64, omega-1),
+		head:   head,
+		fill:   fill,
+		sum:    sum,
+	}
+	copy(tr.ring, ring)
+	return tr, nil
+}
+
+// ExportRing copies the MA window internals out of the tracker — the
+// counterpart of RestoreTracker. The returned ring is a copy.
+func (tr *Tracker) ExportRing() (ring []float64, head, fill int, sum float64) {
+	ring = make([]float64, len(tr.ring))
+	copy(ring, tr.ring)
+	return ring, tr.head, tr.fill, tr.sum
+}
+
 // Omega returns the window parameter ω.
 func (tr *Tracker) Omega() int { return tr.omega }
 

@@ -100,7 +100,10 @@ func Load(dir string) (*Dataset, error) {
 		ds.Vocab.Intern(name)
 	}
 
-	store, err := tagstore.Open(filepath.Join(dir, "posts"), tagstore.Options{})
+	// Read-only: corpus loads must work concurrently (several tools over
+	// one -data dir) and from read-only media, and must never mutate the
+	// stored corpus.
+	store, err := tagstore.Open(filepath.Join(dir, "posts"), tagstore.Options{ReadOnly: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,48 @@
+//go:build unix
+
+package tagstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockName is the advisory-lock file guarding a store directory. Two
+// processes appending to the same segment chain would interleave
+// partial frames mid-file and rewrite the manifest against divergent
+// catalogs — corruption far beyond the torn-tail recovery the store
+// guarantees — so Open takes an exclusive flock and fails loudly
+// instead. flock (not O_EXCL existence) is deliberate: the kernel
+// releases it when the holder dies, so a kill -9'd server never blocks
+// its own restart behind a stale lock file.
+const lockName = "LOCK"
+
+// lockDir acquires the advisory lock on dir — exclusive for writers,
+// shared for read-only opens (any number of concurrent readers, never
+// alongside a writer) — returning the handle that holds it (closed by
+// Store.Close). A read-only open on media where the lock file cannot
+// even be created (e.g. a read-only mount, where no writer could exist
+// either) proceeds unlocked.
+func lockDir(dir string, readOnly bool) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		if readOnly {
+			if f, err = os.Open(filepath.Join(dir, lockName)); err != nil {
+				return nil, nil
+			}
+		} else {
+			return nil, fmt.Errorf("tagstore: lock file: %w", err)
+		}
+	}
+	how := syscall.LOCK_EX
+	if readOnly {
+		how = syscall.LOCK_SH
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tagstore: %s is already open in another process", dir)
+	}
+	return f, nil
+}

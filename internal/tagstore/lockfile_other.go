@@ -1,0 +1,10 @@
+//go:build !unix
+
+package tagstore
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics: single-writer
+// discipline is then the operator's responsibility, as it was before
+// directory locking existed.
+func lockDir(dir string, readOnly bool) (*os.File, error) { return nil, nil }

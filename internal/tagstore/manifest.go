@@ -1,0 +1,168 @@
+package tagstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is the store's segment catalog. It is the authoritative
+// list of live segments and their first sequence numbers; segment files
+// on disk that the manifest does not mention are either leftovers of an
+// interrupted DropThrough (older than the first listed segment — safe to
+// delete) or of an interrupted rotation (newer than the last listed
+// segment — adopted back into the store).
+const manifestName = "MANIFEST"
+
+// manifestVersion is bumped on incompatible manifest schema changes.
+const manifestVersion = 1
+
+type manifestSegment struct {
+	Name     string `json:"name"`
+	FirstSeq uint64 `json:"first_seq"`
+}
+
+type manifestFile struct {
+	Version  int               `json:"version"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+// readManifest loads the manifest; ok is false when none exists (a
+// legacy or freshly created directory).
+func readManifest(dir string) (manifestFile, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifestFile{}, false, nil
+	}
+	if err != nil {
+		return manifestFile{}, false, fmt.Errorf("tagstore: read manifest: %w", err)
+	}
+	var m manifestFile
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifestFile{}, false, fmt.Errorf("tagstore: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifestFile{}, false, fmt.Errorf("tagstore: manifest version %d not supported (want %d)", m.Version, manifestVersion)
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces the manifest: the new catalog is
+// written to a temp file, synced, and renamed over the old one, so a
+// crash leaves either the previous or the new manifest intact.
+func writeManifest(dir string, segs []string, base []uint64) error {
+	m := manifestFile{Version: manifestVersion}
+	for i, name := range segs {
+		m.Segments = append(m.Segments, manifestSegment{Name: name, FirstSeq: base[i]})
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tagstore: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("tagstore: write manifest: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("tagstore: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("tagstore: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tagstore: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("tagstore: install manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry survives
+// power loss — without it, a crash could persist a later deletion (e.g.
+// DropThrough's segment removal) while losing the rename that justified
+// it. Best effort on platforms that refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("tagstore: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("tagstore: sync dir: %w", err)
+	}
+	return nil
+}
+
+// reconcileManifest merges the manifest's segment catalog with the
+// segment files actually on disk. It returns the live segment names in
+// order with their first sequence numbers (0 = unknown, to be derived by
+// the open scan) and whether the manifest must be rewritten after the
+// scan. Disk files older than the catalog are interrupted-compaction
+// leftovers and are deleted (skipped, in read-only mode); files newer
+// than the catalog are interrupted-rotation orphans and are adopted; a
+// file missing from the middle of the catalog is corruption and fails
+// the open.
+func reconcileManifest(dir string, diskNames []string, readOnly bool) ([]string, []uint64, bool, error) {
+	m, ok, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !ok || len(m.Segments) == 0 {
+		// Legacy directory (or empty catalog): every disk segment is
+		// live, seqs start at 1 and are derived by the scan.
+		base := make([]uint64, len(diskNames))
+		return diskNames, base, len(diskNames) > 0, nil
+	}
+	onDisk := make(map[string]bool, len(diskNames))
+	for _, n := range diskNames {
+		onDisk[n] = true
+	}
+	var names []string
+	var base []uint64
+	for _, seg := range m.Segments {
+		if !onDisk[seg.Name] {
+			return nil, nil, false, fmt.Errorf("tagstore: manifest references missing segment %s", seg.Name)
+		}
+		names = append(names, seg.Name)
+		base = append(base, seg.FirstSeq)
+	}
+	// Classification is by segment ordinal, not name compare: names stop
+	// sorting lexicographically once ordinals outgrow their %06d padding.
+	first := segNumber(m.Segments[0].Name)
+	last := segNumber(m.Segments[len(m.Segments)-1].Name)
+	rewrite := false
+	for _, n := range diskNames {
+		switch num := segNumber(n); {
+		case num < first:
+			// Dropped by a DropThrough whose file deletion didn't finish.
+			if !readOnly {
+				if err := os.Remove(filepath.Join(dir, n)); err != nil {
+					return nil, nil, false, fmt.Errorf("tagstore: removing stale segment %s: %w", n, err)
+				}
+				rewrite = true
+			}
+		case num > last:
+			// Created by a rotation whose manifest update didn't land.
+			names = append(names, n)
+			base = append(base, 0)
+			rewrite = true
+		case !containsSeg(m.Segments, n):
+			return nil, nil, false, fmt.Errorf("tagstore: segment %s on disk but absent from the manifest interior", n)
+		}
+	}
+	return names, base, rewrite, nil
+}
+
+func containsSeg(segs []manifestSegment, name string) bool {
+	for _, s := range segs {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}

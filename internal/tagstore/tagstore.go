@@ -3,23 +3,43 @@
 // tagging stream into (the paper's "system prototype" future-work item).
 //
 // Layout: a directory of segment files seg-NNNNNN.log, each a sequence of
-// CRC-framed records. One record is one post:
+// CRC-framed records, described by a MANIFEST file. One record is one
+// post:
 //
 //	[u32 payloadLen][payload][u32 crc32(payload)]
 //	payload = uvarint resourceID, uvarint nTags,
 //	          nTags delta-encoded uvarint tag ids (posts are sorted)
 //
+// Every record carries an implicit, monotonically increasing sequence
+// number: the first record ever appended is seq 1, and the MANIFEST
+// records each segment's first seq, so a record's seq is recoverable
+// from its position alone — no per-record framing overhead. Sequence
+// numbers are what tie snapshots (WriteSnapshot/LatestSnapshot) to the
+// log: a snapshot covering seq S plus the records with seq > S replay
+// to the exact pre-crash state, and DropThrough(S) reclaims the sealed
+// segments a snapshot has made redundant.
+//
 // Properties:
 //
 //   - appends go to the active (last) segment through a buffered writer;
 //     Flush makes them durable (optionally fsync);
-//   - opening a store scans all segments, rebuilding an in-memory index of
-//     (segment, offset, length) per resource for random access;
+//   - opening a store reads the MANIFEST (or derives one for legacy
+//     directories) and scans the listed segments, rebuilding an
+//     in-memory index of (segment, offset, length) per resource for
+//     random access;
 //   - a torn write at the tail of the last segment (crash mid-append) is
 //     detected by length/CRC validation and truncated away — recovery is
 //     automatic and lossless up to the last complete record;
+//   - the MANIFEST is replaced atomically (write-temp + rename), so a
+//     crash during rotation or compaction leaves either the old or the
+//     new manifest, never a torn one; segment files orphaned by such a
+//     crash are adopted (rotation) or removed (compaction) on open;
+//   - DropThrough drops sealed segments fully covered by a snapshot
+//     sequence number, bounding on-disk log size under sustained ingest;
 //   - Compact rewrites the log grouped by resource id for locality and
-//     atomically swaps segment files.
+//     atomically swaps segment files (dataset storage only — it restarts
+//     sequence numbering, so it refuses to run on snapshot-covered
+//     stores).
 package tagstore
 
 import (
@@ -31,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"incentivetag/internal/tags"
@@ -50,6 +71,14 @@ type Options struct {
 	// SyncOnFlush issues fsync on Flush for durability against OS crashes
 	// (not just process crashes).
 	SyncOnFlush bool
+	// ReadOnly opens the store for reading only: the directory lock is
+	// shared (any number of concurrent readers, but no writer), nothing
+	// on disk is created or mutated — no manifest rewrite, no torn-tail
+	// truncation, no lock file on read-only mounts — and Append/rotate/
+	// compaction refuse. The dataset-load path (synth.Load) uses this so
+	// corpus directories can be read concurrently and from read-only
+	// media.
+	ReadOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -73,11 +102,14 @@ type Store struct {
 	dir  string
 	opts Options
 
+	lock    *os.File   // exclusive directory lock (nil where unsupported)
 	segs    []string   // segment file names in order
+	base    []uint64   // first sequence number of each segment, parallel to segs
 	files   []*os.File // read handles per segment
 	active  *os.File   // write handle on last segment
 	w       *bufio.Writer
-	written int64 // current size of active segment
+	written int64  // current size of active segment
+	nextSeq uint64 // sequence number the next appended record receives
 
 	index   map[uint32][]recordRef
 	records int64
@@ -86,35 +118,71 @@ type Store struct {
 	encBuf []byte // reusable scratch for single-record Append encoding
 }
 
-// Open opens (or creates) a store directory, scanning existing segments
-// and recovering from torn tails.
+// Open opens (or creates) a store directory, reconciling the MANIFEST
+// with the segment files on disk, scanning the live segments and
+// recovering from torn tails. Legacy directories without a manifest are
+// adopted (sequence numbers start at 1) and gain one.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tagstore: mkdir: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, index: make(map[uint32][]recordRef)}
-	names, err := listSegments(dir)
+	lock, err := lockDir(dir, opts.ReadOnly)
 	if err != nil {
 		return nil, err
 	}
+	s := &Store{dir: dir, opts: opts, lock: lock, index: make(map[uint32][]recordRef)}
+	names, err := listSegments(dir)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	names, base, rewrite, err := reconcileManifest(dir, names, opts.ReadOnly)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
 	if len(names) == 0 {
-		names = []string{segName(1)}
+		if opts.ReadOnly {
+			s.Close()
+			return nil, fmt.Errorf("tagstore: %s has no segments to open read-only", dir)
+		}
+		names, base, rewrite = []string{segName(1)}, []uint64{1}, true
 		f, err := os.OpenFile(filepath.Join(dir, names[0]), os.O_CREATE|os.O_RDWR, 0o644)
 		if err != nil {
+			s.Close()
 			return nil, fmt.Errorf("tagstore: create segment: %w", err)
 		}
 		f.Close()
 	}
-	s.segs = names
+	s.segs, s.base = names, base
+	seq := uint64(1)
+	if base[0] != 0 {
+		seq = base[0]
+	}
 	for si, name := range names {
+		if base[si] == 0 {
+			base[si] = seq // legacy or adopted segment: seq derived positionally
+		} else if base[si] != seq {
+			s.Close()
+			return nil, fmt.Errorf("tagstore: segment %s starts at seq %d but manifest says %d", name, seq, base[si])
+		}
 		path := filepath.Join(dir, name)
+		before := s.records
 		if err := s.scanSegment(si, path, si == len(names)-1); err != nil {
 			s.Close()
 			return nil, err
 		}
+		seq += uint64(s.records - before)
 	}
-	// Open read handles and the active writer.
+	s.nextSeq = seq
+	if rewrite && !opts.ReadOnly {
+		if err := writeManifest(dir, s.segs, s.base); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	// Open read handles and (unless read-only) the active writer.
 	for _, name := range s.segs {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
@@ -122,6 +190,9 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("tagstore: open segment: %w", err)
 		}
 		s.files = append(s.files, f)
+	}
+	if opts.ReadOnly {
+		return s, nil
 	}
 	last := filepath.Join(dir, s.segs[len(s.segs)-1])
 	af, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -143,6 +214,22 @@ func Open(dir string, opts Options) (*Store, error) {
 
 func segName(i int) string { return fmt.Sprintf("%s%06d%s", segPrefix, i, segSuffix) }
 
+// segNumber parses the ordinal out of a segment file name; unparsable
+// names yield 0 (they cannot be produced by segName). Parsed
+// numerically, not positionally: %06d grows past six digits on
+// long-lived logs (DropThrough keeps disk bounded but ordinals run
+// forever), and every ordering decision in this package goes through
+// this function rather than lexicographic name compares, which stop
+// agreeing with rotation order at seg-1000000.
+func segNumber(name string) int {
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	i, err := strconv.Atoi(digits)
+	if err != nil || i < 0 {
+		return 0
+	}
+	return i
+}
+
 func listSegments(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -155,7 +242,7 @@ func listSegments(dir string) ([]string, error) {
 			names = append(names, n)
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(names, func(i, j int) bool { return segNumber(names[i]) < segNumber(names[j]) })
 	return names, nil
 }
 
@@ -211,12 +298,25 @@ func (s *Store) scanSegment(si int, path string, isLast bool) error {
 }
 
 // handleTail truncates a damaged tail on the last segment, or fails.
+// A read-only open leaves the tear on disk and simply stops indexing at
+// it — same recovered contents, no mutation.
 func (s *Store) handleTail(path string, goodOff int64, isLast bool, cause error) error {
 	if !isLast {
 		return fmt.Errorf("tagstore: segment %s corrupt at offset %d: %v", path, goodOff, cause)
 	}
+	if s.opts.ReadOnly {
+		return nil
+	}
 	if err := os.Truncate(path, goodOff); err != nil {
 		return fmt.Errorf("tagstore: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// writable guards every mutating operation on a read-only store.
+func (s *Store) writable() error {
+	if s.opts.ReadOnly {
+		return fmt.Errorf("tagstore: store opened read-only")
 	}
 	return nil
 }
@@ -278,6 +378,9 @@ func decodePost(payload []byte) (uint32, tags.Post, error) {
 // across calls, so steady-state appends are allocation-free (beyond the
 // index entry).
 func (s *Store) Append(rid uint32, p tags.Post) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if len(p) == 0 {
 		return fmt.Errorf("tagstore: empty post")
 	}
@@ -310,6 +413,7 @@ func (s *Store) Append(rid uint32, p tags.Post) error {
 	}
 	s.index[rid] = append(s.index[rid], recordRef{seg: si, off: s.written, n: int32(len(payload))})
 	s.records++
+	s.nextSeq++
 	s.written += int64(4 + len(payload) + 4)
 	return nil
 }
@@ -369,6 +473,9 @@ func (b *Batch) Reset() {
 // overshoot MaxSegmentBytes by its own size (the same soft bound a single
 // oversized record already has).
 func (s *Store) AppendBatch(b *Batch) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if b.Records() == 0 {
 		return nil
 	}
@@ -390,11 +497,15 @@ func (s *Store) AppendBatch(b *Batch) error {
 		off += int64(4+b.lens[k]) + 4
 	}
 	s.records += int64(len(b.rids))
+	s.nextSeq += uint64(len(b.rids))
 	s.written = off
 	return nil
 }
 
-// rotate seals the active segment and starts a new one.
+// rotate seals the active segment and starts a new one, recording the
+// new segment's first sequence number in the manifest. The segment file
+// is created before the manifest is updated; a crash between the two
+// leaves an orphan that reconcileManifest adopts on the next open.
 func (s *Store) rotate() error {
 	if err := s.Flush(); err != nil {
 		return err
@@ -402,7 +513,7 @@ func (s *Store) rotate() error {
 	if err := s.active.Close(); err != nil {
 		return fmt.Errorf("tagstore: close active: %w", err)
 	}
-	name := segName(len(s.segs) + 1)
+	name := segName(segNumber(s.segs[len(s.segs)-1]) + 1)
 	path := filepath.Join(s.dir, name)
 	af, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 	if err != nil {
@@ -414,11 +525,12 @@ func (s *Store) rotate() error {
 		return fmt.Errorf("tagstore: rotate read handle: %w", err)
 	}
 	s.segs = append(s.segs, name)
+	s.base = append(s.base, s.nextSeq)
 	s.files = append(s.files, rf)
 	s.active = af
 	s.w = bufio.NewWriterSize(af, 1<<16)
 	s.written = 0
-	return nil
+	return writeManifest(s.dir, s.segs, s.base)
 }
 
 // Flush drains the write buffer (and fsyncs when configured).
@@ -461,6 +573,14 @@ func (s *Store) Close() error {
 	}
 	s.files = nil
 	s.w = nil
+	if s.lock != nil {
+		// Closing the handle releases the flock; the LOCK file itself
+		// stays (removing it would race a concurrent opener).
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lock = nil
+	}
 	return first
 }
 
@@ -563,13 +683,162 @@ func scanRecords(br *bufio.Reader, fn func(uint32, tags.Post) error) error {
 	}
 }
 
+// LastSeq returns the sequence number of the most recently appended
+// record (0 when the store has never held a record). Sequence numbers
+// are assigned contiguously from 1 and survive reopen; only Compact
+// restarts them.
+func (s *Store) LastSeq() uint64 { return s.nextSeq - 1 }
+
+// FirstSeq returns the sequence number of the oldest record still on
+// disk — 1 until DropThrough reclaims covered segments. When the store
+// holds no records it returns LastSeq()+1.
+func (s *Store) FirstSeq() uint64 {
+	if len(s.base) == 0 {
+		return 1
+	}
+	return s.base[0]
+}
+
+// ScanFrom iterates every record with sequence number ≥ from, in global
+// append order, passing each record's seq to the callback. Segments
+// entirely below from are skipped without reading; the segment
+// containing from is read from its start (records below from are decoded
+// but not delivered). It returns the number of log bytes read — the
+// replay-cost figure a recovery benchmark wants. The callback may return
+// an error to stop early.
+func (s *Store) ScanFrom(from uint64, fn func(seq uint64, rid uint32, p tags.Post) error) (bytesRead int64, err error) {
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	for si := range s.segs {
+		end := s.nextSeq // first seq beyond this segment
+		if si+1 < len(s.segs) {
+			end = s.base[si+1]
+		}
+		if end <= from {
+			continue
+		}
+		path := filepath.Join(s.dir, s.segs[si])
+		f, err := os.Open(path)
+		if err != nil {
+			return bytesRead, fmt.Errorf("tagstore: scan open: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return bytesRead, fmt.Errorf("tagstore: scan stat: %w", err)
+		}
+		bytesRead += fi.Size()
+		br := bufio.NewReaderSize(f, 1<<16)
+		seq := s.base[si]
+		err = scanRecords(br, func(rid uint32, p tags.Post) error {
+			cur := seq
+			seq++
+			if cur < from {
+				return nil
+			}
+			return fn(cur, rid, p)
+		})
+		f.Close()
+		if err != nil {
+			return bytesRead, err
+		}
+	}
+	return bytesRead, nil
+}
+
+// DropThrough removes every sealed segment whose records are all covered
+// by sequence number seq — the log-compaction step run after a snapshot
+// covering seq has been durably written. The active segment is never
+// dropped. The manifest is atomically replaced before any file is
+// deleted, so a crash mid-drop leaves only stale files that the next
+// open removes. Returns the number of segments dropped.
+func (s *Store) DropThrough(seq uint64) (int, error) {
+	if err := s.writable(); err != nil {
+		return 0, err
+	}
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	k := 0
+	for k < len(s.segs)-1 && s.base[k+1]-1 <= seq {
+		k++
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	if err := writeManifest(s.dir, s.segs[k:], s.base[k:]); err != nil {
+		return 0, err
+	}
+	// The manifest is installed: the dropped segments are dead no matter
+	// what happens below. Bring the in-memory catalog in line BEFORE the
+	// file removals, so a failed removal (surfaced to the caller) cannot
+	// leave memory disagreeing with the manifest — the leftover files
+	// are exactly what reconcileManifest cleans up on the next open.
+	dead := s.segs[:k]
+	for i := 0; i < k; i++ {
+		if s.files[i] != nil {
+			s.files[i].Close()
+		}
+	}
+	droppedRecords := int64(s.base[k] - s.base[0])
+	s.segs = s.segs[k:]
+	s.base = s.base[k:]
+	s.files = s.files[k:]
+	s.records -= droppedRecords
+	var removeErr error
+	for _, name := range dead {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && removeErr == nil {
+			removeErr = fmt.Errorf("tagstore: drop segment %s: %w", name, err)
+		}
+	}
+	// Rewrite the index: refs into dropped segments disappear, surviving
+	// refs shift down by k segments. Resources left with no records drop
+	// out of the order (their original first-seen rank is retained for
+	// the survivors).
+	for rid, refs := range s.index {
+		kept := refs[:0]
+		for _, ref := range refs {
+			if int(ref.seg) < k {
+				continue
+			}
+			ref.seg -= int32(k)
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			delete(s.index, rid)
+		} else {
+			s.index[rid] = kept
+		}
+	}
+	order := s.order[:0]
+	for _, rid := range s.order {
+		if _, ok := s.index[rid]; ok {
+			order = append(order, rid)
+		}
+	}
+	s.order = order
+	return k, removeErr
+}
+
 // Compact rewrites the store grouped by resource id (ascending, posts in
 // append order within a resource) and atomically replaces the segments.
 // Compaction improves the locality of Posts() after a workload of
-// interleaved appends.
+// interleaved appends. It is the dataset-storage compactor: sequence
+// numbering restarts at 1, so it refuses to run while snapshots cover
+// the directory (WAL deployments bound log size with DropThrough
+// instead).
 func (s *Store) Compact() error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if err := s.Flush(); err != nil {
 		return err
+	}
+	if infos, err := ListSnapshots(s.dir); err != nil {
+		return err
+	} else if len(infos) > 0 {
+		return fmt.Errorf("tagstore: refusing to compact a snapshot-covered store (%d snapshots; use DropThrough)", len(infos))
 	}
 	tmp := s.dir + ".compact"
 	if err := os.RemoveAll(tmp); err != nil {
