@@ -457,6 +457,12 @@ type Service struct {
 	walDir string
 	keep   int
 
+	// idx is the live query index: an incrementally-maintained inverted
+	// index fed by the engine's ingest-delta subscriber hook, seeded from
+	// the (possibly recovered) engine state at construction. TopK and
+	// Search read it without ever rescanning or cloning the corpus.
+	idx *ir.OnlineIndex
+
 	recovery RecoveryStats // boot-time recovery facts, immutable
 
 	// Snapshot machinery. snapMu serializes snapshot/compaction cycles
@@ -575,6 +581,14 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		recovery:    rec,
 		lastSnapSeq: rec.SnapshotSeq,
 	}
+	// Seed the live query index from the engine state — which, on the
+	// durable path, is the recovered state (snapshot + WAL tail already
+	// replayed), so a post-crash server answers queries identically to
+	// the one that crashed — then attach the delta subscriber before any
+	// traffic can flow. This one-time seed is the only corpus scan the
+	// query path ever performs.
+	s.idx = ir.NewOnlineIndex(eng.SnapshotRFDs(), eng.Shards())
+	eng.Subscribe(s.idx)
 	if wal != nil && opts.SnapshotInterval > 0 {
 		s.stopSnap = make(chan struct{})
 		s.snapWG.Add(1)
@@ -755,6 +769,47 @@ func (s *Service) Snapshot() Metrics { return s.eng.Snapshot() }
 // SnapshotRFDs clones every resource's current rfd counts for the
 // similarity case-study layer (NewSimilarityIndex).
 func (s *Service) SnapshotRFDs() []*Counts { return s.eng.SnapshotRFDs() }
+
+// QueryStats is a census of the live query index (epoch, posting-list
+// shape, queries served).
+type QueryStats = ir.OnlineStats
+
+// TopK answers the top-k similar-resource query (§V-C.1) from the live
+// online index: no snapshot clone, no index rebuild — the posting lists
+// are maintained incrementally by the ingest paths (Ingest/IngestBatch/
+// IngestMany and lease fulfillment alike). The result is an
+// epoch-versioned consistent view: bit-identical to rebuilding the
+// inverted index from SnapshotRFDs at the returned epoch. Safe for
+// arbitrary concurrent use alongside ingest.
+func (s *Service) TopK(subject, k int) ([]Scored, uint64, error) {
+	if n := s.eng.N(); subject < 0 || subject >= n {
+		return nil, 0, fmt.Errorf("incentivetag: resource index %d out of range [0,%d)", subject, n)
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
+	}
+	res, epoch := s.idx.TopK(subject, k)
+	return res, epoch, nil
+}
+
+// Search ranks resources by cosine similarity between the query tag set
+// and every live rfd — the paper's query-by-tag-set retrieval. Only
+// resources sharing at least one query tag score above zero, so the
+// result holds at most min(k, matches) entries, best first. Like TopK
+// it reads the online index under an epoch-versioned consistent view.
+func (s *Service) Search(query Post, k int) ([]Scored, uint64, error) {
+	if len(query) == 0 {
+		return nil, 0, fmt.Errorf("incentivetag: empty search query")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
+	}
+	res, epoch := s.idx.Search(query, k)
+	return res, epoch, nil
+}
+
+// QueryStats reports the live query index census.
+func (s *Service) QueryStats() QueryStats { return s.idx.Stats() }
 
 // RecoveryStats reports the boot-time recovery facts plus the live
 // snapshotter counters.

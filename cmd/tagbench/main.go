@@ -37,14 +37,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"incentivetag/internal/benchkit"
 	"incentivetag/internal/engine"
+	"incentivetag/internal/ir"
 	"incentivetag/internal/sim"
 	"incentivetag/internal/tags"
 	"incentivetag/internal/tagstore"
@@ -100,6 +104,34 @@ type IngestReport struct {
 	PR1BytesPerPost     float64 `json:"pr1_fig6_bytes_per_post"`
 	VsPR1Throughput     float64 `json:"dense_batch_vs_pr1_throughput"`
 	VsPR1AllocReduction float64 `json:"dense_batch_vs_pr1_alloc_reduction"`
+}
+
+// QueryPoint is one cell of the readers×writers query matrix: total
+// online top-k queries/sec across the readers while the writers stream
+// batched ingest into the same engine.
+type QueryPoint struct {
+	Readers       int     `json:"readers"`
+	Writers       int     `json:"writers"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// QueryReport captures the live query path: the incrementally
+// maintained online index versus the per-request-rebuild baseline (the
+// pre-online /topk implementation: clone every rfd, rebuild the
+// inverted index, then query), plus tag-set search throughput and the
+// readers×writers mixed-load matrix. Before any timing, the online
+// index must answer bit-identically to an exhaustive rebuild over the
+// same state, or the benchmark aborts.
+type QueryReport struct {
+	K int `json:"k"`
+
+	OnlineQPS  float64 `json:"online_topk_per_sec"`
+	RebuildQPS float64 `json:"rebuild_topk_per_sec"`
+	// Speedup is gated in CI (query.speedup_vs_rebuild).
+	Speedup   float64 `json:"speedup_vs_rebuild"`
+	SearchQPS float64 `json:"search_per_sec"`
+
+	Matrix []QueryPoint `json:"matrix"`
 }
 
 // AllocPoint is one cell of the allocate-throughput matrix.
@@ -172,6 +204,7 @@ type Report struct {
 
 	Ingest   IngestReport   `json:"ingest"`
 	Allocate AllocateReport `json:"allocate"`
+	Query    QueryReport    `json:"query"`
 	Recovery RecoveryReport `json:"recovery"`
 }
 
@@ -304,6 +337,143 @@ func runIngestBenchmarks(data *sim.Data, batch int) IngestReport {
 		}
 	}
 	return rep
+}
+
+// runQueryBenchmarks measures the live query path over an engine that
+// has absorbed the corpus's full future stream with the online index
+// subscribed. The rebuild baseline reproduces the pre-online /topk
+// read path exactly: per query, clone every rfd (SnapshotRFDs) and
+// rebuild the inverted index before answering.
+func runQueryBenchmarks(data *sim.Data, batch int) QueryReport {
+	const k = 10
+	rep := QueryReport{K: k}
+	eng, _ := ingestEngine(data, engine.DefaultShards, true, "")
+	idx := ir.NewOnlineIndex(eng.SnapshotRFDs(), eng.Shards())
+	eng.Subscribe(idx)
+	events := benchkit.FutureEvents(data)
+	if err := benchkit.RunIngest(eng, benchkit.Partition(events, 4), batch); err != nil {
+		fail("query ingest: %v", err)
+	}
+	n := eng.N()
+
+	// Equivalence gate: the online answers must be bit-identical to an
+	// exhaustive rebuild over the same state before any timing counts.
+	oracle := ir.BuildInverted(eng.SnapshotRFDs())
+	for s := 0; s < n; s += 17 {
+		got, _ := idx.TopK(s, k)
+		want := oracle.TopK(s, k)
+		if len(got) != len(want) {
+			fail("query equivalence: subject %d: %d vs %d results", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				fail("query equivalence: subject %d rank %d: (%d,%v) vs (%d,%v)",
+					s, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+
+	const minDur = 600 * time.Millisecond
+	// Per-request-rebuild baseline.
+	count := 0
+	t0 := time.Now()
+	for time.Since(t0) < minDur {
+		inv := ir.BuildInverted(eng.SnapshotRFDs())
+		inv.TopK(count%n, k)
+		count++
+	}
+	rep.RebuildQPS = float64(count) / time.Since(t0).Seconds()
+
+	// Online top-k (amortize the clock check; online queries are fast).
+	count = 0
+	t0 = time.Now()
+	for time.Since(t0) < minDur {
+		for j := 0; j < 64; j++ {
+			idx.TopK(count%n, k)
+			count++
+		}
+	}
+	rep.OnlineQPS = float64(count) / time.Since(t0).Seconds()
+	rep.Speedup = rep.OnlineQPS / rep.RebuildQPS
+
+	// Tag-set search over random 1–3 tag queries.
+	rng := rand.New(rand.NewSource(1))
+	queries := make([]tags.Post, 256)
+	for i := range queries {
+		m := 1 + rng.Intn(3)
+		ts := make([]tags.Tag, m)
+		for j := range ts {
+			ts[j] = tags.Tag(rng.Intn(data.TagUniverse))
+		}
+		p, err := tags.NewPost(ts...)
+		if err != nil {
+			fail("query: %v", err)
+		}
+		queries[i] = p
+	}
+	count = 0
+	t0 = time.Now()
+	for time.Since(t0) < minDur {
+		for j := 0; j < 64; j++ {
+			idx.Search(queries[count%len(queries)], k)
+			count++
+		}
+	}
+	rep.SearchQPS = float64(count) / time.Since(t0).Seconds()
+
+	// Readers×writers matrix: concurrent online queries while writers
+	// stream batched ingest into the same engine (the index absorbing
+	// every delta through the subscriber hook).
+	for _, readers := range []int{1, 4, 16} {
+		for _, writers := range []int{0, 4} {
+			qps := queryCell(eng, idx, events, readers, writers, batch)
+			rep.Matrix = append(rep.Matrix, QueryPoint{Readers: readers, Writers: writers, QueriesPerSec: qps})
+			fmt.Fprintf(os.Stderr, "tagbench: query readers=%-2d writers=%-2d %.0f queries/sec\n", readers, writers, qps)
+		}
+	}
+	return rep
+}
+
+// queryCell measures total reader queries/sec for one matrix cell.
+func queryCell(eng *engine.Engine, idx *ir.OnlineIndex, events []engine.PostEvent, readers, writers, batch int) float64 {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	parts := benchkit.Partition(events, writers+1) // writer w takes stripe w
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			evs := parts[w]
+			for off := 0; !stop.Load(); off = (off + batch) % len(evs) {
+				end := off + batch
+				if end > len(evs) {
+					end = len(evs)
+				}
+				if err := eng.IngestMany(evs[off:end]); err != nil {
+					fail("query matrix ingest: %v", err)
+				}
+			}
+		}(w)
+	}
+	var total atomic.Int64
+	n := eng.N()
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			count := 0
+			for q := r; !stop.Load(); q += readers {
+				idx.TopK(q%n, 10)
+				count++
+			}
+			total.Add(int64(count))
+		}(r)
+	}
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
 }
 
 // runAllocateBenchmarks measures lease-path throughput: total
@@ -548,6 +718,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking lease allocation path\n")
 	allocRep := runAllocateBenchmarks(data, 400*time.Millisecond)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking live query path\n")
+	queryRep := runQueryBenchmarks(data, *batch)
+	fmt.Fprintf(os.Stderr, "tagbench: query online %.0f topk/sec vs per-request rebuild %.0f/sec — %.1fx; search %.0f/sec\n",
+		queryRep.OnlineQPS, queryRep.RebuildQPS, queryRep.Speedup, queryRep.SearchQPS)
+
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking crash recovery\n")
 	recovery := runRecoveryBenchmark(data, *batch)
 	fmt.Fprintf(os.Stderr, "tagbench: recovery full-replay %.1f ms (%d KiB) vs snapshot+tail %.1f ms (%d KiB) — %.2fx faster, %.1fx fewer bytes; compaction %d→%d KiB (%d segments)\n",
@@ -589,6 +764,7 @@ func main() {
 		FinalWastedPosts: final.WastedPosts,
 		Ingest:           ingest,
 		Allocate:         allocRep,
+		Query:            queryRep,
 		Recovery:         recovery,
 	}
 

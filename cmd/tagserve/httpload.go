@@ -30,6 +30,12 @@ type httpSummary struct {
 	OrganicMillis  int64   `json:"organic_ms"`
 	PostsPerSecond float64 `json:"posts_per_sec"`
 
+	// Mixed read/write load (-query): GET /topk and GET /search traffic
+	// served concurrently with the ingest phase.
+	QueryWorkers  int     `json:"query_workers,omitempty"`
+	Queries       int64   `json:"queries,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+
 	Fulfilled         int     `json:"fulfilled_tasks"`
 	Expired           int     `json:"expired_tasks"`
 	AllocateMillis    int64   `json:"allocate_ms"`
@@ -117,9 +123,11 @@ func (c *httpClient) awaitReady(timeout time.Duration) error {
 }
 
 // runHTTPLoad drives a remote tagserved. posts is the organic ingest
-// volume; budget the number of incentive tasks to complete; expireFrac
-// in [0,1) the fraction of leases abandoned instead of fulfilled.
-func runHTTPLoad(url string, workers, batch, posts, budget int, expireFrac float64, seed int64) {
+// volume; budget the number of incentive tasks to complete; query the
+// number of concurrent GET /topk + GET /search workers running for the
+// whole organic phase (the mixed read/write workload); expireFrac in
+// [0,1) the fraction of leases abandoned instead of fulfilled.
+func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFrac float64, seed int64) {
 	c := &httpClient{base: url, hc: &http.Client{Timeout: 30 * time.Second}}
 	if err := c.awaitReady(60 * time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -139,6 +147,45 @@ func runHTTPLoad(url string, workers, batch, posts, budget int, expireFrac float
 	failed := func(err error) {
 		fmt.Fprintf(os.Stderr, "tagserve: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Mixed read workload: -query workers alternate GET /topk and
+	// GET /search for the duration of the organic phase.
+	var queries atomic.Int64
+	stopQuery := make(chan struct{})
+	var queryWG sync.WaitGroup
+	if query > 0 && posts > 0 {
+		for w := 0; w < query; w++ {
+			queryWG.Add(1)
+			go func(w int) {
+				defer queryWG.Done()
+				rng := rand.New(rand.NewSource(seed + 5000 + int64(w)))
+				for q := 0; ; q++ {
+					select {
+					case <-stopQuery:
+						return
+					default:
+					}
+					var err error
+					if q%2 == 0 {
+						var tk server.TopKResponse
+						err = c.get(fmt.Sprintf("/topk?resource=%d&k=10", rng.Intn(info.N)), &tk)
+					} else {
+						var sr server.SearchResponse
+						ts := randomPost(rng, info.TagUniverse)
+						path := fmt.Sprintf("/search?tags=%d", ts[0])
+						for _, tg := range ts[1:] {
+							path += fmt.Sprintf(",%d", tg)
+						}
+						err = c.get(path+"&k=10", &sr)
+					}
+					if err != nil {
+						failed(err)
+					}
+					queries.Add(1)
+				}
+			}(w)
+		}
 	}
 
 	// Organic phase: each worker ingests batches over its own resource
@@ -179,9 +226,17 @@ func runHTTPLoad(url string, workers, batch, posts, budget int, expireFrac float
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		// Stop the query swarm before reading its counter so the count
+		// matches the elapsed window (at most one in-flight request per
+		// worker drains past the cut).
+		close(stopQuery)
+		queryWG.Wait()
 		out.OrganicPosts = int(ingested.Load())
 		out.OrganicMillis = elapsed.Milliseconds()
 		out.PostsPerSecond = float64(ingested.Load()) / elapsed.Seconds()
+		out.QueryWorkers = query
+		out.Queries = queries.Load()
+		out.QueriesPerSec = float64(queries.Load()) / elapsed.Seconds()
 	}
 
 	// Incentive phase: a concurrent allocate/complete/expire swarm.

@@ -9,15 +9,22 @@
 //
 //	tagserve [-n 1000] [-workers 8] [-shards 0] [-batch 256] [-posts 0]
 //	         [-budget 0] [-strategy FP-MU] [-wal DIR] [-seed 1]
-//	         [-report 250ms]
-//	tagserve -url http://127.0.0.1:8377 [-workers 8] [-batch 256]
-//	         [-posts N] [-budget B] [-expire-frac 0.1] [-seed 1]
+//	         [-query 0] [-report 250ms]
+//	tagserve -url http://127.0.0.1:8377 [-workers 8] [-batch 64]
+//	         [-posts N] [-budget B] [-query 0] [-expire-frac 0.1] [-seed 1]
 //
 // With -url the program becomes a network load generator against a
 // running tagserved (see httpload.go): concurrent batched /ingest
 // traffic, then a concurrent /allocate → /complete (or /expire) swarm,
 // reporting posts/sec and allocations/sec plus the server's final
 // /metrics snapshot. Without -url it drives an in-process Service:
+//
+// -query N runs the mixed read/write workload: N query goroutines
+// alternate top-k similar-resource queries and tag-set searches against
+// the live online index for the whole organic phase, concurrently with
+// every ingest worker, and the summary reports queries/sec alongside
+// posts/sec (in HTTP mode the queries go over GET /topk and
+// GET /search).
 //
 // Workers buffer up to -batch posts from their resource stripe and hand
 // them to the engine through IngestMany — one shard-lock acquisition and
@@ -34,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -53,8 +61,18 @@ type summary struct {
 	OrganicMillis  int64   `json:"organic_ms"`
 	PostsPerSecond float64 `json:"posts_per_sec"`
 
+	// Mixed read/write load (-query): live top-k/search queries served
+	// concurrently with the organic ingest phase.
+	QueryWorkers   int     `json:"query_workers,omitempty"`
+	Queries        int64   `json:"queries,omitempty"`
+	QueriesPerSec  float64 `json:"queries_per_sec,omitempty"`
+	FinalQueryView uint64  `json:"final_query_epoch,omitempty"`
+
 	// Process-wide allocation deltas over the organic phase
-	// (runtime.MemStats), normalized per ingested post.
+	// (runtime.MemStats), normalized per ingested post. With -query > 0
+	// the queries run in the same process and window, so these also
+	// carry the query-side allocations — compare ingest-only runs with
+	// -query 0.
 	AllocBytesPerPost float64 `json:"alloc_bytes_per_post"`
 	AllocsPerPost     float64 `json:"allocs_per_post"`
 	GCCycles          uint32  `json:"gc_cycles"`
@@ -80,12 +98,13 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the durable post log (empty = no WAL)")
 	seed := flag.Int64("seed", 1, "corpus and strategy seed")
 	report := flag.Duration("report", 250*time.Millisecond, "live metric sampling interval")
+	queryWorkers := flag.Int("query", 0, "concurrent query goroutines (mixed read/write load; 0 = write-only)")
 	url := flag.String("url", "", "drive a running tagserved at this base URL instead of an in-process Service")
 	expireFrac := flag.Float64("expire-frac", 0, "fraction of leased tasks to abandon via /expire (HTTP mode)")
 	flag.Parse()
 
 	if *url != "" {
-		runHTTPLoad(*url, *workers, *batch, *posts, *budget, *expireFrac, *seed)
+		runHTTPLoad(*url, *workers, *batch, *posts, *budget, *queryWorkers, *expireFrac, *seed)
 		return
 	}
 
@@ -149,6 +168,51 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	// Mixed read workload: -query goroutines alternate top-k and
+	// tag-set search queries against the live online index for the whole
+	// organic phase. Each query is an epoch-consistent read served
+	// concurrently with the sharded ingest — never a corpus rebuild.
+	var queries int64
+	stopQuery := make(chan struct{})
+	var queryWG sync.WaitGroup
+	for w := 0; w < *queryWorkers; w++ {
+		queryWG.Add(1)
+		go func(w int) {
+			defer queryWG.Done()
+			rng := rand.New(rand.NewSource(*seed + 7000 + int64(w)))
+			universe := ds.Vocab.Size()
+			for q := 0; ; q++ {
+				select {
+				case <-stopQuery:
+					return
+				default:
+				}
+				if q%2 == 0 {
+					if _, _, err := svc.TopK(rng.Intn(ds.N()), 10); err != nil {
+						fmt.Fprintf(os.Stderr, "tagserve: topk: %v\n", err)
+						os.Exit(1)
+					}
+				} else {
+					m := 1 + rng.Intn(3)
+					ids := make([]incentivetag.Tag, m)
+					for j := range ids {
+						ids[j] = incentivetag.Tag(rng.Intn(universe))
+					}
+					p, err := incentivetag.NewPost(ids...)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "tagserve: search query: %v\n", err)
+						os.Exit(1)
+					}
+					if _, _, err := svc.Search(p, 10); err != nil {
+						fmt.Fprintf(os.Stderr, "tagserve: search: %v\n", err)
+						os.Exit(1)
+					}
+				}
+				atomic.AddInt64(&queries, 1)
+			}
+		}(w)
 	}
 
 	// Organic phase: workers stream recorded posts across their resource
@@ -223,6 +287,11 @@ func main() {
 	}
 	wg.Wait()
 	organicElapsed := time.Since(start)
+	// Stop the query swarm before sampling MemStats so post-phase
+	// queries cannot leak into the allocation counters; at most one
+	// in-flight query per worker drains past the elapsed cut.
+	close(stopQuery)
+	queryWG.Wait()
 	runtime.ReadMemStats(&m1)
 
 	// Incentive phase: single allocation loop over the live engine.
@@ -258,6 +327,10 @@ func main() {
 		OrganicPosts:        int(ingested),
 		OrganicMillis:       organicElapsed.Milliseconds(),
 		PostsPerSecond:      float64(ingested) / organicElapsed.Seconds(),
+		QueryWorkers:        *queryWorkers,
+		Queries:             atomic.LoadInt64(&queries),
+		QueriesPerSec:       float64(atomic.LoadInt64(&queries)) / organicElapsed.Seconds(),
+		FinalQueryView:      svc.QueryStats().Epoch,
 		GCCycles:            m1.NumGC - m0.NumGC,
 		AllocatedTasks:      allocated,
 		AllocateMillis:      allocElapsed.Milliseconds(),

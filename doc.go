@@ -87,6 +87,23 @@
 // answers 503 until replay completes, so restart-under-load scripts
 // never race recovery.
 //
+// # Live query path
+//
+// Service.TopK and Service.Search serve the paper's retrieval
+// operations — top-k similar resources (§V-C.1) and query-by-tag-set
+// search — from a mutable, shard-partitioned inverted index
+// (ir.OnlineIndex) whose posting lists are maintained incrementally
+// from the engine's per-post ingest deltas (engine.Subscriber): no
+// snapshot clone, no index rebuild, no corpus rescan per query.
+// Queries are epoch-versioned consistent reads (every shard read lock
+// held for the duration), bit-identical to rebuilding the immutable
+// inverted index over SnapshotRFDs at the returned epoch, and safe
+// under arbitrary concurrency with ingest. The index is seeded from
+// recovered engine state, so a restarted service answers queries
+// identically to the one that crashed. Service.QueryStats (GET /info)
+// reports the index census; GET /topk and GET /search expose the
+// queries over HTTP.
+//
 // # Quick start
 //
 //	ds, _ := incentivetag.Generate(incentivetag.DefaultConfig(500, 1))

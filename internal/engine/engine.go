@@ -232,6 +232,23 @@ func (s *shard) add(x float64) {
 	s.qsum = t
 }
 
+// Subscriber consumes per-post ingest deltas — the hook a live query
+// index (ir.OnlineIndex) hangs off so it never has to rescan the
+// corpus. PostApplied is invoked once per applied post, strictly after
+// the post has mutated engine state and while the resource's shard
+// lock is still held, so a subscriber observes every post exactly once
+// and each resource's deltas arrive in apply order. p's tags each
+// carry an implicit count-delta of +1 (a post names a tag at most
+// once); norm2Delta is the exact change the post caused to the
+// resource's squared count-vector norm (an integer-valued float).
+//
+// Implementations must be fast, must not retain or mutate p, and must
+// never call back into the Engine — they run inside the ingest hot
+// path, and an engine call would self-deadlock on the shard lock.
+type Subscriber interface {
+	PostApplied(resource int, p tags.Post, norm2Delta float64)
+}
+
 // Engine is a sharded live tagging engine. All exported methods are
 // safe for concurrent use; operations on resources in different shards
 // proceed in parallel.
@@ -240,7 +257,29 @@ type Engine struct {
 	n      int
 	shards []*shard
 
+	// sub is the attached ingest-delta subscriber (nil = none). Written
+	// by Subscribe under every shard lock, read under the owning shard's
+	// lock on the apply path — the lock pair orders the publication.
+	sub Subscriber
+
 	walMu sync.Mutex // serializes WAL appends across shards
+}
+
+// Subscribe attaches (or, with nil, detaches) the engine's ingest-delta
+// subscriber. It takes every shard lock to publish the pointer, so it
+// is memory-safe to call while traffic flows, but posts applied before
+// the call are not replayed to the subscriber — seed it from current
+// engine state (e.g. SnapshotRFDs) and attach before serving traffic
+// (as NewService does) for a gap-free view. At most one subscriber is
+// held; attaching over an existing one replaces it.
+func (e *Engine) Subscribe(sub Subscriber) {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	e.sub = sub
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
 }
 
 // New builds an engine over the given resources, replaying each spec's
@@ -384,7 +423,7 @@ func (e *Engine) Ingest(i int, p tags.Post) error {
 			return fmt.Errorf("engine: wal: %w", err)
 		}
 	}
-	sh.applyLocked(sh.res[l], p, e.cfg.UnderThreshold)
+	e.applyLocked(sh, sh.res[l], i, p)
 	return nil
 }
 
@@ -421,7 +460,7 @@ func (e *Engine) IngestBatch(i int, posts []tags.Post) error {
 	}
 	r := sh.res[l]
 	for _, p := range posts {
-		sh.applyLocked(r, p, e.cfg.UnderThreshold)
+		e.applyLocked(sh, r, i, p)
 	}
 	return nil
 }
@@ -513,7 +552,7 @@ func (e *Engine) ingestShardBatch(s int, sh *shard, events []PostEvent, have int
 		if ev.Resource%nshards != s {
 			continue
 		}
-		sh.applyLocked(sh.res[ev.Resource/nshards], ev.Post, e.cfg.UnderThreshold)
+		e.applyLocked(sh, sh.res[ev.Resource/nshards], ev.Resource, ev.Post)
 		if left--; left == 0 {
 			break
 		}
@@ -545,8 +584,10 @@ func (e *Engine) commitWALBatch(sh *shard) error {
 }
 
 // applyLocked mutates one resource and folds the metric deltas into the
-// shard aggregates. Caller holds sh.mu.
-func (sh *shard) applyLocked(r *resource, p tags.Post, underThreshold int) {
+// shard aggregates, then publishes the post to the subscriber (when one
+// is attached). Caller holds sh.mu — which is what serializes the
+// subscriber's per-resource delta stream into apply order.
+func (e *Engine) applyLocked(sh *shard, r *resource, i int, p tags.Post) {
 	// Waste: the task ran while the resource was already at or past its
 	// stable point (seed semantics: judged BEFORE the post applies).
 	if r.stableK > 0 && r.consumed >= r.stableK {
@@ -554,6 +595,10 @@ func (sh *shard) applyLocked(r *resource, p tags.Post, underThreshold int) {
 	}
 	if r.refCounts != nil {
 		r.addDot(p)
+	}
+	norm2Before := 0.0
+	if e.sub != nil {
+		norm2Before = r.tracker.Counts().Norm2()
 	}
 	r.tracker.Observe(p)
 	r.consumed++
@@ -568,11 +613,14 @@ func (sh *shard) applyLocked(r *resource, p tags.Post, underThreshold int) {
 	}
 	// Under-tagged can only flip true→false, exactly when the count
 	// leaves the threshold.
-	if underThreshold >= 0 && r.consumed == underThreshold+1 {
+	if e.cfg.UnderThreshold >= 0 && r.consumed == e.cfg.UnderThreshold+1 {
 		sh.under--
 	}
 	sh.spent += r.cost
 	sh.posts++
+	if e.sub != nil {
+		e.sub.PostApplied(i, p, r.tracker.Counts().Norm2()-norm2Before)
+	}
 }
 
 // Count returns the number of posts resource i has received (primed +

@@ -227,7 +227,7 @@ func (e *Engine) Replay(i int, p tags.Post) error {
 	sh, l := e.locate(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.applyLocked(sh.res[l], p, e.cfg.UnderThreshold)
+	e.applyLocked(sh, sh.res[l], i, p)
 	return nil
 }
 

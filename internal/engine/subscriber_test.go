@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"incentivetag/internal/tags"
+)
+
+// recordingSub captures every published delta; safe for the concurrent
+// per-shard invocation the subscriber contract allows.
+type recordingSub struct {
+	mu     sync.Mutex
+	posts  map[int][]tags.Post
+	norm2  map[int]float64
+	deltas int
+}
+
+func newRecordingSub() *recordingSub {
+	return &recordingSub{posts: map[int][]tags.Post{}, norm2: map[int]float64{}}
+}
+
+func (r *recordingSub) PostApplied(resource int, p tags.Post, norm2Delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.posts[resource] = append(r.posts[resource], p.Clone())
+	r.norm2[resource] += norm2Delta
+	r.deltas++
+}
+
+// Every ingest path — per-post, single-resource batch, cross-resource
+// batch, and recovery replay — must publish each applied post exactly
+// once, in per-resource apply order, with norm² deltas that sum to the
+// resource's true norm² change.
+func TestSubscriberSeesEveryPost(t *testing.T) {
+	specs, _ := testSpecs(t, 12, 1)
+	eng, err := New(Config{Omega: 3, Shards: 4, UnderThreshold: -1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]float64, eng.N())
+	for i := range base {
+		base[i] = eng.SnapshotRFDs()[i].Norm2()
+	}
+	sub := newRecordingSub()
+	eng.Subscribe(sub)
+
+	want := map[int][]tags.Post{}
+	add := func(i int, p tags.Post) { want[i] = append(want[i], p) }
+
+	if err := eng.Ingest(1, tags.MustPost(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	add(1, tags.MustPost(1, 2))
+	if err := eng.IngestBatch(2, []tags.Post{tags.MustPost(3), tags.MustPost(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	add(2, tags.MustPost(3))
+	add(2, tags.MustPost(3, 4))
+	events := []PostEvent{
+		{Resource: 5, Post: tags.MustPost(1)},
+		{Resource: 1, Post: tags.MustPost(2)},
+		{Resource: 5, Post: tags.MustPost(1, 6)},
+	}
+	if err := eng.IngestMany(events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		add(ev.Resource, ev.Post)
+	}
+	if err := eng.Replay(7, tags.MustPost(9)); err != nil {
+		t.Fatal(err)
+	}
+	add(7, tags.MustPost(9))
+
+	if got := 1 + 2 + len(events) + 1; sub.deltas != got {
+		t.Fatalf("subscriber saw %d deltas, want %d", sub.deltas, got)
+	}
+	for i, ps := range want {
+		got := sub.posts[i]
+		if len(got) != len(ps) {
+			t.Fatalf("resource %d: %d deltas, want %d", i, len(got), len(ps))
+		}
+		for k := range ps {
+			if !got[k].Equal(ps[k]) {
+				t.Fatalf("resource %d delta %d: %v, want %v (order violated?)", i, k, got[k], ps[k])
+			}
+		}
+		after := eng.SnapshotRFDs()[i].Norm2()
+		if sub.norm2[i] != after-base[i] {
+			t.Fatalf("resource %d: norm² deltas sum to %v, want %v", i, sub.norm2[i], after-base[i])
+		}
+	}
+
+	// Detach: no further deltas.
+	eng.Subscribe(nil)
+	if err := eng.Ingest(0, tags.MustPost(1)); err != nil {
+		t.Fatal(err)
+	}
+	if sub.deltas != 1+2+len(events)+1 {
+		t.Fatalf("detached subscriber still notified (%d deltas)", sub.deltas)
+	}
+}
+
+// Concurrent ingest with a subscriber attached must stay race-free and
+// lose no deltas (the hook runs under the shard lock).
+func TestSubscriberConcurrentIngest(t *testing.T) {
+	specs, _ := testSpecs(t, 32, 2)
+	eng, err := New(Config{Omega: 3, Shards: 8, UnderThreshold: -1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := newRecordingSub()
+	eng.Subscribe(sub)
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				i := (w + k*workers) % eng.N()
+				var err error
+				if k%3 == 0 {
+					err = eng.IngestMany([]PostEvent{{Resource: i, Post: tags.MustPost(tags.Tag(k % 7))}})
+				} else {
+					err = eng.Ingest(i, tags.MustPost(tags.Tag(k%7)))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sub.deltas != workers*perWorker {
+		t.Fatalf("subscriber saw %d deltas, want %d", sub.deltas, workers*perWorker)
+	}
+	if m := eng.Snapshot(); m.Posts != workers*perWorker {
+		t.Fatalf("engine ingested %d posts, want %d", m.Posts, workers*perWorker)
+	}
+}

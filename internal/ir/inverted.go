@@ -60,6 +60,14 @@ func (ix *InvertedIndex) TopK(subject, k int) []Scored {
 		return nil
 	}
 	subj := ix.rfds[subject]
+	subjNorm := math.Sqrt(subj.Norm2())
+	if subjNorm == 0 || subj.Posts() == 0 {
+		// Zero-norm subject: every cosine is 0 by definition, so skip
+		// candidate enumeration entirely and go straight to the
+		// zero-similarity padding (smallest ids first, exactly what the
+		// exhaustive index returns).
+		return rankTopK(len(ix.rfds), subject, k, 0, nil, func(id int32) *sparse.Counts { return ix.rfds[id] })
+	}
 	// Accumulate dot products over the subject's postings.
 	dots := make(map[int32]float64)
 	for _, t := range subj.Support() {
@@ -71,56 +79,122 @@ func (ix *InvertedIndex) TopK(subject, k int) []Scored {
 			dots[p.id] += sc * float64(p.count)
 		}
 	}
-	h := make(scoredHeap, 0, k+1)
-	push := func(id int, score float64) {
-		if len(h) < k {
-			heap.Push(&h, Scored{ID: id, Score: score})
-		} else if h[0].Score < score || (h[0].Score == score && h[0].ID > id) {
-			heap.Pop(&h)
-			heap.Push(&h, Scored{ID: id, Score: score})
-		}
+	return rankTopK(len(ix.rfds), subject, k, subjNorm, dots, func(id int32) *sparse.Counts { return ix.rfds[id] })
+}
+
+// topKSelector keeps the best k answers incrementally: a bounded
+// min-heap whose tiebreak (equal scores prefer the smaller id) makes
+// the kept set deterministic under any push order, finalized into a
+// score-descending, ties-toward-smaller-id ranking. Shared by every
+// top-k query path (exhaustive-candidate, inverted, online, search) so
+// the selection semantics can never drift between them.
+type topKSelector struct {
+	k int
+	h scoredHeap
+}
+
+func newTopKSelector(k int) *topKSelector {
+	return &topKSelector{k: k, h: make(scoredHeap, 0, k+1)}
+}
+
+func (s *topKSelector) push(id int, score float64) {
+	if len(s.h) < s.k {
+		heap.Push(&s.h, Scored{ID: id, Score: score})
+	} else if s.h[0].Score < score || (s.h[0].Score == score && s.h[0].ID > id) {
+		heap.Pop(&s.h)
+		heap.Push(&s.h, Scored{ID: id, Score: score})
 	}
-	subjNorm := math.Sqrt(subj.Norm2())
-	for id, dot := range dots {
-		o := ix.rfds[id]
-		if o.Posts() == 0 || o.Norm2() == 0 || subjNorm == 0 {
-			continue
-		}
-		s := dot / (subjNorm * math.Sqrt(o.Norm2()))
-		if s > 1 {
-			s = 1
-		}
-		push(int(id), s)
+}
+
+func (s *topKSelector) len() int { return len(s.h) }
+
+// results drains the heap into the final ranking. The stable sort
+// normalizes exact ties for determinism regardless of push order.
+func (s *topKSelector) results() []Scored {
+	out := make([]Scored, len(s.h))
+	for i := len(s.h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&s.h).(Scored)
 	}
-	// Pad with zero-similarity resources if the candidate set was small.
-	if len(h) < k {
-		present := make(map[int]bool, len(h))
-		for _, s := range h {
-			present[s.ID] = true
-		}
-		for id := 0; id < len(ix.rfds) && len(h) < k; id++ {
-			if id == subject || present[id] {
-				continue
-			}
-			if _, overlapped := dots[int32(id)]; overlapped {
-				continue
-			}
-			push(id, 0)
-		}
-	}
-	out := make([]Scored, len(h))
-	for i := len(h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Scored)
-	}
-	// The zero-padding insertion order is id-ascending already; the heap
-	// tiebreak keeps the exhaustive semantics. Normalize exact ties for
-	// determinism.
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}
 		return out[a].ID < out[b].ID
 	})
+	return out
+}
+
+// rankTopK finalizes a top-k similarity query shared by the immutable
+// and online inverted indexes: it turns accumulated dot products into
+// clamped cosine scores, pads with zero-similarity resources when the
+// candidate set runs short of k (smallest id first), and returns the
+// selector's ranking. The subject's norm is hoisted here once — a
+// zero-norm subject (nil or empty dots) skips scoring entirely and
+// pads directly. rfd resolves a candidate id to its count vector.
+func rankTopK(n, subject, k int, subjNorm float64, dots map[int32]float64, rfd func(int32) *sparse.Counts) []Scored {
+	sel := newTopKSelector(k)
+	if subjNorm > 0 {
+		for id, dot := range dots {
+			o := rfd(id)
+			if o.Posts() == 0 || o.Norm2() == 0 {
+				continue
+			}
+			s := dot / (subjNorm * math.Sqrt(o.Norm2()))
+			if s > 1 {
+				s = 1
+			}
+			sel.push(int(id), s)
+		}
+	}
+	// Pad with zero-similarity resources if the candidate set was small.
+	if sel.len() < k {
+		present := make(map[int]bool, sel.len())
+		for _, s := range sel.h {
+			present[s.ID] = true
+		}
+		for id := 0; id < n && sel.len() < k; id++ {
+			if id == subject || present[id] {
+				continue
+			}
+			if _, overlapped := dots[int32(id)]; overlapped {
+				continue
+			}
+			sel.push(id, 0)
+		}
+	}
+	return sel.results()
+}
+
+// Posting is one (resource, count) pair of a posting list, exposed for
+// diagnostics and the posting-for-posting equivalence tests between the
+// immutable and online indexes.
+type Posting struct {
+	ID    int32
+	Count int64
+}
+
+// PostingEntries returns tag t's posting list in ascending resource-id
+// order (empty when the tag is unindexed).
+func (ix *InvertedIndex) PostingEntries(t tags.Tag) []Posting {
+	pl := ix.postings[t]
+	if len(pl) == 0 {
+		return nil
+	}
+	out := make([]Posting, len(pl))
+	for i, p := range pl {
+		out[i] = Posting{ID: p.id, Count: p.count}
+	}
+	return out // built in ascending id order
+}
+
+// Tags returns every tag with a non-empty posting list in ascending
+// order.
+func (ix *InvertedIndex) Tags() []tags.Tag {
+	out := make([]tags.Tag, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
 }
 

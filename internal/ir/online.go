@@ -1,0 +1,372 @@
+// The online index: the live-serving counterpart of BuildInverted.
+//
+// BuildInverted is immutable — the serving read path used to rebuild it
+// from a full SnapshotRFDs clone on every query, making each /topk an
+// O(n·|tags|) scan-and-allocate. OnlineIndex keeps the same posting
+// lists mutable and maintains them incrementally from the engine's
+// per-post ingest deltas, so a query only ever touches the subject's
+// posting lists and the corpus is never rescanned after the one-time
+// seed at construction.
+package ir
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// OnlineIndex is a mutable, shard-partitioned inverted index over live
+// rfd state. Resources are partitioned across S shards (resource i
+// lives on shard i mod S, matching the engine's partition so each
+// engine shard's ingest stream lands on exactly one index shard); each
+// shard guards its posting lists and count vectors with its own
+// RWMutex, so concurrent ingest on different shards proceeds in
+// parallel and never contends until a query runs.
+//
+// # Consistency
+//
+// Queries are epoch-versioned consistent snapshots: a reader acquires
+// every shard's read lock in shard order before touching any state and
+// holds all of them for the duration, so the view it scores against is
+// the state at the instant the last lock landed — no post is ever
+// half-visible across shards. The epoch is the number of posts applied
+// to the index since construction; it is stable while a reader holds
+// the locks and is returned with every query, so callers can order
+// answers and assert freshness. Writers (Apply / the engine subscriber
+// hook) block only for the duration of a query, not for other writers
+// on different shards.
+//
+// # Exactness
+//
+// Posting counts, norms and dot products are all integer-valued and
+// exactly representable in float64, so TopK is bit-identical to
+// BuildInverted(SnapshotRFDs()).TopK over the same state regardless of
+// the order posts arrived — asserted posting-for-posting by the
+// randomized equivalence tests.
+type OnlineIndex struct {
+	n      int
+	shards []*onlineShard
+
+	// epoch counts applied posts; incremented under the owning shard's
+	// write lock, read by queries while holding every read lock (when no
+	// writer can be mid-apply), so a query's reported epoch is exact.
+	epoch atomic.Uint64
+
+	topkQueries   atomic.Uint64
+	searchQueries atomic.Uint64
+}
+
+// onlineShard owns the resources with id ≡ shardID (mod S): their count
+// vectors and the posting lists of every tag those resources use.
+type onlineShard struct {
+	mu sync.RWMutex
+	// postings maps tag → the shard-local posting list.
+	postings map[tags.Tag]*postingList
+	// vecs[l] is the count vector of global resource l*S + shardID; the
+	// index owns these (they are mutated by Apply).
+	vecs []*sparse.Counts
+}
+
+// postingList is one tag's (resource, count) entries plus an id→slot
+// lookup, so an incremental count bump is O(1) and a query scan is a
+// dense slice walk.
+type postingList struct {
+	entries []posting
+	slot    map[int32]int32
+}
+
+// bump adds delta to the resource's posting, appending on first touch.
+func (pl *postingList) bump(id int32, delta int64) {
+	if s, ok := pl.slot[id]; ok {
+		pl.entries[s].count += delta
+		return
+	}
+	pl.slot[id] = int32(len(pl.entries))
+	pl.entries = append(pl.entries, posting{id: id, count: delta})
+}
+
+// NewOnlineIndex seeds an online index from the given rfd snapshots,
+// taking ownership of them (pass clones, e.g. Engine.SnapshotRFDs —
+// the index mutates them on Apply). shards ≤ 0 selects 1. This is the
+// only corpus scan the index ever performs; every later change arrives
+// through Apply.
+func NewOnlineIndex(rfds []*sparse.Counts, shards int) *OnlineIndex {
+	if shards <= 0 {
+		shards = 1
+	}
+	ix := &OnlineIndex{n: len(rfds), shards: make([]*onlineShard, shards)}
+	for s := range ix.shards {
+		ix.shards[s] = &onlineShard{postings: make(map[tags.Tag]*postingList)}
+	}
+	for i, c := range rfds {
+		sh := ix.shards[i%shards]
+		sh.vecs = append(sh.vecs, c)
+		for _, t := range c.Support() {
+			sh.posting(t).bump(int32(i), c.Get(t))
+		}
+	}
+	return ix
+}
+
+// posting returns the shard's posting list for t, creating it on first
+// use. Caller holds the shard's write lock (or is the constructor).
+func (sh *onlineShard) posting(t tags.Tag) *postingList {
+	pl := sh.postings[t]
+	if pl == nil {
+		pl = &postingList{slot: make(map[int32]int32)}
+		sh.postings[t] = pl
+	}
+	return pl
+}
+
+// N returns the number of indexed resources.
+func (ix *OnlineIndex) N() int { return ix.n }
+
+// locate maps a global resource id to its shard and local slot.
+func (ix *OnlineIndex) locate(i int) (*onlineShard, int) {
+	return ix.shards[i%len(ix.shards)], i / len(ix.shards)
+}
+
+// Apply folds one ingested post into the index: the resource's count
+// vector absorbs the post (each tag's count-delta is +1 — a post names
+// a tag at most once) and the touched posting lists are bumped in
+// place. Safe for concurrent use; posts for resources on different
+// shards proceed in parallel. Callers must apply each resource's posts
+// in ingest order (the engine's subscriber hook runs under the shard
+// lock, which guarantees exactly that).
+func (ix *OnlineIndex) Apply(resource int, p tags.Post) {
+	if resource < 0 || resource >= ix.n || len(p) == 0 {
+		return
+	}
+	sh, l := ix.locate(resource)
+	sh.mu.Lock()
+	sh.vecs[l].Add(p)
+	for _, t := range p {
+		sh.posting(t).bump(int32(resource), 1)
+	}
+	ix.epoch.Add(1)
+	sh.mu.Unlock()
+}
+
+// PostApplied is the engine-subscriber face of Apply: the engine calls
+// it once per applied post, under the owning engine-shard lock, with
+// the post's tags and the exact norm²/post-count deltas it caused. The
+// index re-derives both deltas from its own integer counts (Counts.Add
+// is bit-identical arithmetic), so the delta fields are advisory here;
+// they exist for subscribers that do not mirror count vectors.
+func (ix *OnlineIndex) PostApplied(resource int, p tags.Post, norm2Delta float64) {
+	ix.Apply(resource, p)
+}
+
+// rlockAll acquires every shard's read lock in shard order. Once the
+// last lock lands no writer can be mid-apply anywhere, so the state —
+// and the epoch — form a consistent point-in-time view until
+// runlockAll.
+func (ix *OnlineIndex) rlockAll() {
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (ix *OnlineIndex) runlockAll() {
+	for _, sh := range ix.shards {
+		sh.mu.RUnlock()
+	}
+}
+
+// TopK returns the k most similar resources to subject over the live
+// state, bit-identical to BuildInverted(SnapshotRFDs()).TopK at the
+// returned epoch, without cloning or rescanning anything. Invalid
+// subjects or k ≤ 0 return nil.
+func (ix *OnlineIndex) TopK(subject, k int) ([]Scored, uint64) {
+	ix.topkQueries.Add(1)
+	if k <= 0 || subject < 0 || subject >= ix.n {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	sh, l := ix.locate(subject)
+	subj := sh.vecs[l]
+	subjNorm := math.Sqrt(subj.Norm2())
+	if subjNorm == 0 || subj.Posts() == 0 {
+		return rankTopK(ix.n, subject, k, 0, nil, ix.rfdLocked), epoch
+	}
+	dots := make(map[int32]float64)
+	for _, t := range subj.Support() {
+		sc := float64(subj.Get(t))
+		for _, osh := range ix.shards {
+			pl := osh.postings[t]
+			if pl == nil {
+				continue
+			}
+			for _, p := range pl.entries {
+				if int(p.id) == subject {
+					continue
+				}
+				dots[p.id] += sc * float64(p.count)
+			}
+		}
+	}
+	return rankTopK(ix.n, subject, k, subjNorm, dots, ix.rfdLocked), epoch
+}
+
+// rfdLocked resolves a resource id to its count vector; caller holds
+// the read locks.
+func (ix *OnlineIndex) rfdLocked(id int32) *sparse.Counts {
+	sh, l := ix.locate(int(id))
+	return sh.vecs[l]
+}
+
+// Search ranks resources by cosine similarity between the query tag set
+// (a unit-count vector: each distinct tag weighs 1) and every live rfd
+// — the paper's query-by-tag-set retrieval operation. Only resources
+// sharing at least one query tag can score above zero, so the result
+// holds at most min(k, |candidates|) entries, score-descending with
+// ties broken toward smaller ids; zero-overlap resources are not
+// padded in (an empty result means nothing matched). Returns the
+// epoch-consistent view it scored against.
+func (ix *OnlineIndex) Search(query tags.Post, k int) ([]Scored, uint64) {
+	ix.searchQueries.Add(1)
+	if k <= 0 || len(query) == 0 || ix.n == 0 {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	dots := make(map[int32]float64)
+	for _, t := range query {
+		for _, sh := range ix.shards {
+			pl := sh.postings[t]
+			if pl == nil {
+				continue
+			}
+			for _, p := range pl.entries {
+				dots[p.id] += float64(p.count)
+			}
+		}
+	}
+	// The query vector's squared norm is |query| exactly (unit counts).
+	// The score expression mirrors sparse.Counts.Cosine term for term
+	// (single sqrt of the norm product, same clamping), so a Search
+	// score is bit-identical to Cosine against a count vector holding
+	// the query.
+	qNorm2 := float64(len(query))
+	sel := newTopKSelector(k)
+	for id, dot := range dots {
+		if dot == 0 {
+			continue // a fully-removed posting; cannot score
+		}
+		o := ix.rfdLocked(id)
+		if o.Posts() == 0 || o.Norm2() == 0 {
+			continue
+		}
+		s := dot / math.Sqrt(qNorm2*o.Norm2())
+		if s > 1 {
+			s = 1
+		}
+		sel.push(int(id), s)
+	}
+	return sel.results(), epoch
+}
+
+// Epoch returns the number of posts applied since construction.
+func (ix *OnlineIndex) Epoch() uint64 { return ix.epoch.Load() }
+
+// PostingEntries returns tag t's live postings in ascending resource-id
+// order — the posting-for-posting equivalence surface against
+// BuildInverted. Zero-count entries (possible only if a count was fully
+// removed) are elided.
+func (ix *OnlineIndex) PostingEntries(t tags.Tag) []Posting {
+	ix.rlockAll()
+	defer ix.runlockAll()
+	var out []Posting
+	for _, sh := range ix.shards {
+		pl := sh.postings[t]
+		if pl == nil {
+			continue
+		}
+		for _, p := range pl.entries {
+			if p.count != 0 {
+				out = append(out, Posting{ID: p.id, Count: p.count})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Tags returns every tag with a non-empty posting list in ascending
+// order.
+func (ix *OnlineIndex) Tags() []tags.Tag {
+	ix.rlockAll()
+	defer ix.runlockAll()
+	seen := make(map[tags.Tag]bool)
+	for _, sh := range ix.shards {
+		for t, pl := range sh.postings {
+			if len(pl.entries) > 0 {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]tags.Tag, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// OnlineStats is a point-in-time census of the online index, exposed
+// through Service.QueryStats and GET /info.
+type OnlineStats struct {
+	// Epoch is the number of posts applied since construction (or since
+	// the recovery-time reseed — a restarted server starts at 0 again
+	// with the recovered state already folded into the seed).
+	Epoch uint64 `json:"epoch"`
+	// Resources is the indexed corpus size; Shards the partition width.
+	Resources int `json:"resources"`
+	Shards    int `json:"shards"`
+	// Tags and Postings size the inverted structure; MaxPostings is the
+	// longest single posting list (the worst-case candidate fan-out of
+	// one query tag).
+	Tags        int `json:"tags"`
+	Postings    int `json:"postings"`
+	MaxPostings int `json:"max_postings"`
+	// TopKQueries / SearchQueries count queries served since boot.
+	TopKQueries   uint64 `json:"topk_queries"`
+	SearchQueries uint64 `json:"search_queries"`
+}
+
+// Stats computes the index census under a consistent read view.
+func (ix *OnlineIndex) Stats() OnlineStats {
+	ix.rlockAll()
+	defer ix.runlockAll()
+	st := OnlineStats{
+		Epoch:         ix.epoch.Load(),
+		Resources:     ix.n,
+		Shards:        len(ix.shards),
+		TopKQueries:   ix.topkQueries.Load(),
+		SearchQueries: ix.searchQueries.Load(),
+	}
+	perTag := make(map[tags.Tag]int)
+	for _, sh := range ix.shards {
+		for t, pl := range sh.postings {
+			if len(pl.entries) > 0 {
+				perTag[t] += len(pl.entries)
+			}
+		}
+	}
+	st.Tags = len(perTag)
+	for _, n := range perTag {
+		st.Postings += n
+		if n > st.MaxPostings {
+			st.MaxPostings = n
+		}
+	}
+	return st
+}

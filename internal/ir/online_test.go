@@ -1,0 +1,348 @@
+package ir
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// randomPost draws a 1–3 tag post over the given tag-id dimension.
+func randomPost(rng *rand.Rand, dim int) tags.Post {
+	m := 1 + rng.Intn(3)
+	ts := make([]tags.Tag, m)
+	for j := range ts {
+		ts[j] = tags.Tag(rng.Intn(dim))
+	}
+	p, err := tags.NewPost(ts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// cloneAll deep-copies an rfd slice (the online index takes ownership
+// of what it is seeded with).
+func cloneAll(rfds []*sparse.Counts) []*sparse.Counts {
+	out := make([]*sparse.Counts, len(rfds))
+	for i, c := range rfds {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// The core equivalence property: after an arbitrary interleaving of
+// applied posts, the online index must be posting-for-posting identical
+// to BuildInverted over the same accumulated state, and TopK must be
+// bit-identical (same ids, same float bits) for every subject.
+func TestOnlineMatchesBuildInverted(t *testing.T) {
+	for _, tc := range []struct {
+		seed   int64
+		n, dim int
+		shards int
+	}{
+		{seed: 1, n: 40, dim: 25, shards: 1},
+		{seed: 2, n: 40, dim: 25, shards: 8},
+		{seed: 3, n: 31, dim: 12, shards: 7}, // n not divisible by shards
+		{seed: 4, n: 9, dim: 60, shards: 16}, // more shards than resources
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		// Model state: plain count vectors the oracle indexes are built
+		// over. A few resources start empty to cover the zero-norm path.
+		model := make([]*sparse.Counts, tc.n)
+		for i := range model {
+			model[i] = sparse.NewCounts()
+			if i%5 != 0 {
+				for k := 0; k < rng.Intn(6); k++ {
+					model[i].Add(randomPost(rng, tc.dim))
+				}
+			}
+		}
+		online := NewOnlineIndex(cloneAll(model), tc.shards)
+
+		check := func(step int) {
+			t.Helper()
+			oracle := BuildInverted(model)
+			// Posting-for-posting identity over the union of tag sets.
+			seen := map[tags.Tag]bool{}
+			for _, tg := range append(online.Tags(), oracle.Tags()...) {
+				if seen[tg] {
+					continue
+				}
+				seen[tg] = true
+				got, want := online.PostingEntries(tg), oracle.PostingEntries(tg)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d tag %d: %d postings vs %d", tc.seed, step, tg, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d step %d tag %d posting %d: %+v vs %+v", tc.seed, step, tg, i, got[i], want[i])
+					}
+				}
+			}
+			// TopK bit-identity for every subject at several k.
+			for subject := 0; subject < tc.n; subject++ {
+				for _, k := range []int{1, 3, tc.n} {
+					got, _ := online.TopK(subject, k)
+					want := oracle.TopK(subject, k)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d step %d subject %d k=%d: %d vs %d results", tc.seed, step, subject, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d step %d subject %d k=%d rank %d: %+v vs %+v",
+								tc.seed, step, subject, k, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+
+		check(-1)
+		// Arbitrary interleaving: random resources, occasional bursts to
+		// one resource, posts applied to model and index in lockstep.
+		for step := 0; step < 60; step++ {
+			i := rng.Intn(tc.n)
+			burst := 1
+			if rng.Intn(4) == 0 {
+				burst = 1 + rng.Intn(5)
+			}
+			for b := 0; b < burst; b++ {
+				p := randomPost(rng, tc.dim)
+				model[i].Add(p)
+				online.Apply(i, p)
+			}
+			if step%10 == 9 {
+				check(step)
+			}
+		}
+		check(60)
+		if online.Epoch() == 0 {
+			t.Fatalf("seed %d: epoch never advanced", tc.seed)
+		}
+	}
+}
+
+// Search must equal the brute-force cosine of the query's unit-count
+// vector against every rfd, restricted to overlapping resources.
+func TestOnlineSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomIndex(11, 50, 20)
+	online := NewOnlineIndex(cloneAll(base.RFDs()), 4)
+	for trial := 0; trial < 30; trial++ {
+		query := randomPost(rng, 20)
+		k := 1 + rng.Intn(8)
+		got, _ := online.Search(query, k)
+
+		// Brute force: cosine against a count vector holding the query.
+		qv := sparse.NewCounts()
+		qv.Add(query)
+		type cand struct {
+			id    int
+			score float64
+		}
+		var cands []cand
+		for i, c := range base.RFDs() {
+			overlap := false
+			for _, tg := range query {
+				if c.Get(tg) > 0 {
+					overlap = true
+					break
+				}
+			}
+			if !overlap {
+				continue
+			}
+			cands = append(cands, cand{id: i, score: qv.Cosine(c)})
+		}
+		// Sort score desc, id asc; take k.
+		for a := 0; a < len(cands); a++ {
+			for b := a + 1; b < len(cands); b++ {
+				if cands[b].score > cands[a].score ||
+					(cands[b].score == cands[a].score && cands[b].id < cands[a].id) {
+					cands[a], cands[b] = cands[b], cands[a]
+				}
+			}
+		}
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		if len(got) != len(cands) {
+			t.Fatalf("trial %d: %d results vs %d", trial, len(got), len(cands))
+		}
+		for i := range cands {
+			if got[i].ID != cands[i].id || got[i].Score != cands[i].score {
+				t.Fatalf("trial %d rank %d: (%d,%v) vs (%d,%v)",
+					trial, i, got[i].ID, got[i].Score, cands[i].id, cands[i].score)
+			}
+		}
+	}
+}
+
+// Concurrent readers during ingest: queries under -race while writers
+// apply posts on every shard. Results must always be well-formed (the
+// bit-level answer is whatever epoch the reader landed on).
+func TestOnlineConcurrentReadersDuringApply(t *testing.T) {
+	const n, dim, shards = 64, 30, 8
+	rng := rand.New(rand.NewSource(21))
+	rfds := make([]*sparse.Counts, n)
+	for i := range rfds {
+		rfds[i] = sparse.NewCounts()
+		rfds[i].Add(randomPost(rng, dim))
+	}
+	online := NewOnlineIndex(rfds, shards)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(100 + int64(w)))
+			for !stop.Load() {
+				online.Apply(wrng.Intn(n), randomPost(wrng, dim))
+			}
+		}(w)
+	}
+	var lastEpoch uint64
+	for q := 0; q < 400; q++ {
+		subject := q % n
+		res, epoch := online.TopK(subject, 10)
+		if len(res) != 10 {
+			t.Fatalf("query %d: %d results", q, len(res))
+		}
+		if epoch < lastEpoch {
+			t.Fatalf("epoch went backwards: %d after %d", epoch, lastEpoch)
+		}
+		lastEpoch = epoch
+		for i := 1; i < len(res); i++ {
+			if res[i].Score > res[i-1].Score {
+				t.Fatalf("query %d: scores not descending at %d", q, i)
+			}
+		}
+		sres, _ := online.Search(tags.MustPost(tags.Tag(q%dim)), 5)
+		if len(sres) > 5 {
+			t.Fatalf("search returned %d > k results", len(sres))
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiesced: the final state must again match the oracle exactly.
+	inv := BuildInverted(onlineSnapshot(online))
+	for _, subject := range []int{0, 31, 63} {
+		got, _ := online.TopK(subject, 10)
+		want := inv.TopK(subject, 10)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("post-quiesce subject %d rank %d: %+v vs %+v", subject, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// onlineSnapshot clones the index's current vectors (test helper).
+func onlineSnapshot(ix *OnlineIndex) []*sparse.Counts {
+	out := make([]*sparse.Counts, ix.n)
+	for i := 0; i < ix.n; i++ {
+		sh, l := ix.locate(i)
+		out[i] = sh.vecs[l].Clone()
+	}
+	return out
+}
+
+func TestOnlineEdgeCases(t *testing.T) {
+	online := NewOnlineIndex(nil, 4)
+	if res, _ := online.TopK(0, 5); res != nil {
+		t.Error("empty index answered TopK")
+	}
+	if res, _ := online.Search(tags.MustPost(1), 5); res != nil {
+		t.Error("empty index answered Search")
+	}
+
+	base := randomIndex(31, 10, 8)
+	online = NewOnlineIndex(cloneAll(base.RFDs()), 3)
+	if res, _ := online.TopK(-1, 3); res != nil {
+		t.Error("negative subject answered")
+	}
+	if res, _ := online.TopK(10, 3); res != nil {
+		t.Error("out-of-range subject answered")
+	}
+	if res, _ := online.TopK(0, 0); res != nil {
+		t.Error("k=0 answered")
+	}
+	if res, _ := online.Search(nil, 3); res != nil {
+		t.Error("empty query answered")
+	}
+	// Out-of-range and empty applies are ignored, not panics.
+	online.Apply(-1, tags.MustPost(1))
+	online.Apply(99, tags.MustPost(1))
+	online.Apply(0, nil)
+	if online.Epoch() != 0 {
+		t.Errorf("invalid applies advanced the epoch to %d", online.Epoch())
+	}
+	st := online.Stats()
+	if st.Resources != 10 || st.Shards != 3 || st.Tags == 0 || st.Postings == 0 || st.MaxPostings == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.TopKQueries == 0 {
+		t.Errorf("query counters not advancing: %+v", st)
+	}
+}
+
+// The zero-norm-subject early return (read-path bugfix) must keep the
+// inverted index identical to the exhaustive one when the subject has
+// no posts: straight to zero-similarity padding, smallest ids first.
+func TestInvertedZeroNormSubject(t *testing.T) {
+	rfds := make([]*sparse.Counts, 8)
+	for i := range rfds {
+		rfds[i] = sparse.NewCounts()
+		if i != 3 { // resource 3 stays empty
+			rfds[i].Add(tags.MustPost(tags.Tag(10+i), 5))
+		}
+	}
+	inv := BuildInverted(rfds)
+	ex := NewIndex(rfds)
+	online := NewOnlineIndex(cloneAll(rfds), 2)
+	for _, k := range []int{1, 4, 7, 20} {
+		want := ex.TopK(3, k)
+		for name, got := range map[string][]Scored{
+			"inverted": inv.TopK(3, k),
+			"online":   func() []Scored { r, _ := online.TopK(3, k); return r }(),
+		} {
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: %d vs %d results", name, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s k=%d rank %d: %+v vs %+v", name, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkOnlineTopK(b *testing.B) {
+	base := randomIndex(7, 2000, 400)
+	online := NewOnlineIndex(cloneAll(base.RFDs()), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		online.TopK(i%2000, 10)
+	}
+}
+
+func BenchmarkRebuildTopK(b *testing.B) {
+	// The pre-online serving read path: rebuild the inverted index from
+	// a fresh snapshot clone for every query.
+	base := randomIndex(7, 2000, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv := BuildInverted(cloneAll(base.RFDs()))
+		inv.TopK(i%2000, 10)
+	}
+}

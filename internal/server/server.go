@@ -9,8 +9,9 @@
 //	POST /expire          abandon a lease, re-arming its resource
 //	POST /admin/snapshot  force a snapshot/compaction cycle now
 //	GET  /metrics         O(1) aggregate metric snapshot + lease census
-//	GET  /topk            top-k similar resources from live rfd state
-//	GET  /info            corpus/strategy facts + durability/recovery stats
+//	GET  /topk            top-k similar resources from the live online index
+//	GET  /search          query-by-tag-set retrieval over live rfd state
+//	GET  /info            corpus/strategy/query-index facts + recovery stats
 //	GET  /healthz         readiness gate: 200 only once recovery completed
 //
 // — and is safe for arbitrary client concurrency: ingest scales across
@@ -40,6 +41,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -74,6 +76,50 @@ type Config struct {
 	// restarts should set Budget to what remains (total minus the spend
 	// it has accounted externally) when relaunching.
 	Budget int
+
+	// ReadTimeout, WriteTimeout and IdleTimeout bound each connection's
+	// full-request read, response write and keep-alive idle time, so a
+	// slow-reading (or slow-sending) client can never pin a handler
+	// goroutine forever. 0 selects the defaults (DefaultReadTimeout,
+	// DefaultWriteTimeout, DefaultIdleTimeout); a negative value
+	// disables that bound entirely.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+}
+
+// Default connection timeouts: generous enough for a slow crowd-worker
+// client on a bad link, tight enough that an abandoned connection frees
+// its goroutine within the minute.
+const (
+	DefaultReadTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultIdleTimeout  = 2 * time.Minute
+)
+
+// timeoutOr resolves one configured timeout: 0 → def, negative → 0
+// (net/http's "no timeout").
+func timeoutOr(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// httpServer builds the net/http server with every slow-client bound
+// applied; addr may be empty (Serve path).
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       timeoutOr(s.cfg.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      timeoutOr(s.cfg.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       timeoutOr(s.cfg.IdleTimeout, DefaultIdleTimeout),
+	}
 }
 
 // Server is the HTTP front-end. Create with New (service ready up
@@ -139,6 +185,7 @@ func NewDeferred(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /topk", s.handleTopK)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -187,7 +234,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: already serving")
 	}
-	hs := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	hs := s.httpServer(addr)
 	s.hs = hs
 	s.mu.Unlock()
 	return hs.ListenAndServe()
@@ -201,7 +248,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.mu.Unlock()
 		return fmt.Errorf("server: already serving")
 	}
-	hs := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	hs := s.httpServer("")
 	s.hs = hs
 	s.mu.Unlock()
 	return hs.Serve(l)
@@ -311,10 +358,24 @@ type TopKEntry struct {
 	Score    float64 `json:"score"`
 }
 
-// TopKResponse answers GET /topk?resource=i&k=10.
+// TopKResponse answers GET /topk?resource=i&k=10. Epoch is the query
+// index version the answer was computed against (the number of posts
+// the index has absorbed since boot): two responses with the same
+// epoch saw the identical point-in-time state.
 type TopKResponse struct {
 	Resource int         `json:"resource"`
+	Epoch    uint64      `json:"epoch"`
 	Top      []TopKEntry `json:"top"`
+}
+
+// SearchResponse answers GET /search?tags=a,b,c&k=10: the query's
+// normalized (deduplicated, sorted) tag ids and up to k matching
+// resources, best cosine first. Only resources sharing at least one
+// query tag are ranked — fewer than k entries means fewer matches.
+type SearchResponse struct {
+	Tags  []int32     `json:"tags"`
+	Epoch uint64      `json:"epoch"`
+	Top   []TopKEntry `json:"top"`
 }
 
 // InfoResponse answers GET /info.
@@ -327,6 +388,9 @@ type InfoResponse struct {
 	// Recovery reports what the service's boot-time recovery did plus
 	// the live snapshot/compaction counters.
 	Recovery incentivetag.RecoveryStats `json:"recovery"`
+	// Queries is the live query index census: epoch, posting-list shape,
+	// and queries served since boot.
+	Queries incentivetag.QueryStats `json:"queries"`
 }
 
 // HealthResponse answers GET /healthz.
@@ -584,29 +648,101 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseK reads the optional k parameter (default 10, bounded [1,1000]);
+// ok=false means the error response was already written.
+func parseK(w http.ResponseWriter, q url.Values) (int, bool) {
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 || k > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be in [1,1000]")
+			return 0, false
+		}
+	}
+	return k, true
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	svc := s.service(w)
 	if svc == nil {
 		return
 	}
 	q := r.URL.Query()
-	subject, err := strconv.Atoi(q.Get("resource"))
-	if err != nil || subject < 0 || subject >= svc.N() {
-		writeError(w, http.StatusBadRequest, "resource must be an index in [0,%d)", svc.N())
+	rs := q.Get("resource")
+	if rs == "" {
+		writeError(w, http.StatusBadRequest, "missing resource parameter")
 		return
 	}
-	k := 10
-	if ks := q.Get("k"); ks != "" {
-		if k, err = strconv.Atoi(ks); err != nil || k <= 0 || k > 1000 {
-			writeError(w, http.StatusBadRequest, "k must be in [1,1000]")
+	subject, err := strconv.Atoi(rs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "resource %q is not an integer", rs)
+		return
+	}
+	if n := svc.N(); n == 0 {
+		writeError(w, http.StatusBadRequest, "corpus is empty: no resources to query")
+		return
+	} else if subject < 0 || subject >= n {
+		writeError(w, http.StatusBadRequest, "resource %d out of range [0,%d)", subject, n)
+		return
+	}
+	k, ok := parseK(w, q)
+	if !ok {
+		return
+	}
+	// Live online index: incrementally maintained from ingest deltas,
+	// epoch-versioned consistent read — no snapshot clone, no rebuild.
+	scored, epoch, err := svc.TopK(subject, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := TopKResponse{Resource: subject, Epoch: epoch, Top: make([]TopKEntry, len(scored))}
+	for i, sc := range scored {
+		out.Top[i] = TopKEntry{Resource: sc.ID, Score: sc.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w)
+	if svc == nil {
+		return
+	}
+	q := r.URL.Query()
+	ts := q.Get("tags")
+	if ts == "" {
+		writeError(w, http.StatusBadRequest, "missing tags parameter (comma-separated tag ids)")
+		return
+	}
+	parts := strings.Split(ts, ",")
+	ids := make([]incentivetag.Tag, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "tag %q is not an integer id", part)
 			return
 		}
+		ids = append(ids, incentivetag.Tag(id))
 	}
-	// Point-in-time index over the live rfd state: O(n·|tags|) — a
-	// case-study query, not a hot path.
-	idx := incentivetag.NewSimilarityIndex(svc.SnapshotRFDs())
-	scored := idx.TopK(subject, k)
-	out := TopKResponse{Resource: subject, Top: make([]TopKEntry, len(scored))}
+	query, err := incentivetag.NewPost(ids...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, ok := parseK(w, q)
+	if !ok {
+		return
+	}
+	scored, epoch, err := svc.Search(query, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := SearchResponse{Tags: make([]int32, len(query)), Epoch: epoch, Top: make([]TopKEntry, len(scored))}
+	for i, t := range query {
+		out.Tags[i] = int32(t)
+	}
 	for i, sc := range scored {
 		out.Top[i] = TopKEntry{Resource: sc.ID, Score: sc.Score}
 	}
@@ -625,6 +761,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Budget:      s.cfg.Budget,
 		Ready:       true,
 		Recovery:    svc.RecoveryStats(),
+		Queries:     svc.QueryStats(),
 	})
 }
 
@@ -643,6 +780,15 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
 	if svc == nil {
 		return
 	}
+	// A snapshot/compaction cycle on a large corpus (or queued behind
+	// the background snapshotter's snapMu) can legitimately outlast the
+	// slow-client WriteTimeout, which would kill the connection after
+	// the work completed server-side — an ambiguous admin operation.
+	// Lift the per-connection deadline for this trusted, rare request;
+	// the timeout still protects every serving route.
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})
+	rc.SetWriteDeadline(time.Time{})
 	res, err := svc.SnapshotNow()
 	if err != nil {
 		// No WAL configured (or the snapshot write failed): an operator
