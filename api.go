@@ -463,6 +463,11 @@ type Service struct {
 	// Search read it without ever rescanning or cloning the corpus.
 	idx *ir.OnlineIndex
 
+	// cache memoizes TopK answers per (subject, k), versioned by the
+	// index epoch: any ingest bumps the epoch and expires every entry,
+	// so a hit is always bit-identical to re-running the query.
+	cache *resultCache
+
 	recovery RecoveryStats // boot-time recovery facts, immutable
 
 	// Snapshot machinery. snapMu serializes snapshot/compaction cycles
@@ -589,6 +594,7 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 	// query path ever performs.
 	s.idx = ir.NewOnlineIndex(eng.SnapshotRFDs(), eng.Shards())
 	eng.Subscribe(s.idx)
+	s.cache = newResultCache(0)
 	if wal != nil && opts.SnapshotInterval > 0 {
 		s.stopSnap = make(chan struct{})
 		s.snapWG.Add(1)
@@ -781,6 +787,12 @@ type QueryStats = ir.OnlineStats
 // epoch-versioned consistent view: bit-identical to rebuilding the
 // inverted index from SnapshotRFDs at the returned epoch. Safe for
 // arbitrary concurrent use alongside ingest.
+//
+// Hot subjects are served from an epoch-keyed result cache: a hit
+// requires the cached entry's epoch to equal the index's current epoch,
+// so any intervening post expires it and a cached answer is always
+// bit-identical to re-running the query. Hit/miss counters surface in
+// QueryStats and GET /info.
 func (s *Service) TopK(subject, k int) ([]Scored, uint64, error) {
 	if n := s.eng.N(); subject < 0 || subject >= n {
 		return nil, 0, fmt.Errorf("incentivetag: resource index %d out of range [0,%d)", subject, n)
@@ -788,7 +800,12 @@ func (s *Service) TopK(subject, k int) ([]Scored, uint64, error) {
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
 	}
+	cur := s.idx.Epoch()
+	if res, ok := s.cache.get(subject, k, cur); ok {
+		return res, cur, nil
+	}
 	res, epoch := s.idx.TopK(subject, k)
+	s.cache.put(subject, k, epoch, res)
 	return res, epoch, nil
 }
 
@@ -808,8 +825,13 @@ func (s *Service) Search(query Post, k int) ([]Scored, uint64, error) {
 	return res, epoch, nil
 }
 
-// QueryStats reports the live query index census.
-func (s *Service) QueryStats() QueryStats { return s.idx.Stats() }
+// QueryStats reports the live query index census plus the Service
+// result-cache counters.
+func (s *Service) QueryStats() QueryStats {
+	st := s.idx.Stats()
+	st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
+	return st
+}
 
 // RecoveryStats reports the boot-time recovery facts plus the live
 // snapshotter counters.

@@ -41,11 +41,14 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"incentivetag"
 	"incentivetag/internal/benchkit"
 	"incentivetag/internal/engine"
 	"incentivetag/internal/ir"
@@ -130,6 +133,28 @@ type QueryReport struct {
 	// Speedup is gated in CI (query.speedup_vs_rebuild).
 	Speedup   float64 `json:"speedup_vs_rebuild"`
 	SearchQPS float64 `json:"search_per_sec"`
+
+	// ExhaustiveQPS is the same online index with pruning disabled —
+	// every overlapping candidate accumulated and scored (the PR 5
+	// execution strategy, kept as the in-tree oracle). PrunedSpeedup is
+	// OnlineQPS over it: the win attributable purely to block-max
+	// pruning on identical data structures. Gated in CI
+	// (query.pruned_speedup).
+	ExhaustiveQPS float64 `json:"exhaustive_topk_per_sec"`
+	PrunedSpeedup float64 `json:"pruned_speedup"`
+
+	// Per-query latency of the pruned online path, microseconds.
+	TopKP50Micros float64 `json:"topk_p50_us"`
+	TopKP99Micros float64 `json:"topk_p99_us"`
+
+	// CachedQPS drives the full Service serving path (validation +
+	// epoch-keyed result cache + online index) on a hot-subject working
+	// set between ingest bursts — the shape the result cache exists for.
+	// CachedSpeedup compares it against the exhaustive execution, i.e.
+	// the /topk serving path before this engine landed.
+	CachedQPS     float64 `json:"cached_topk_per_sec"`
+	CachedSpeedup float64 `json:"cached_speedup_vs_exhaustive"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
 
 	Matrix []QueryPoint `json:"matrix"`
 }
@@ -356,21 +381,42 @@ func runQueryBenchmarks(data *sim.Data, batch int) QueryReport {
 	}
 	n := eng.N()
 
-	// Equivalence gate: the online answers must be bit-identical to an
-	// exhaustive rebuild over the same state before any timing counts.
+	// Equivalence gate: before any timing counts, the pruned executor
+	// must answer bit-identically to BOTH oracles over the same state —
+	// the index's own exhaustive execution (pruning disabled) and a cold
+	// inverted rebuild — and pruned Search must match exhaustive Search.
 	oracle := ir.BuildInverted(eng.SnapshotRFDs())
-	for s := 0; s < n; s += 17 {
-		got, _ := idx.TopK(s, k)
-		want := oracle.TopK(s, k)
+	identical := func(ctx string, got, want []ir.Scored) {
 		if len(got) != len(want) {
-			fail("query equivalence: subject %d: %d vs %d results", s, len(got), len(want))
+			fail("query equivalence: %s: %d vs %d results", ctx, len(got), len(want))
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				fail("query equivalence: subject %d rank %d: (%d,%v) vs (%d,%v)",
-					s, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				fail("query equivalence: %s rank %d: (%d,%v) vs (%d,%v)",
+					ctx, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
 			}
 		}
+	}
+	for s := 0; s < n; s += 17 {
+		got, _ := idx.TopK(s, k)
+		exh, _ := idx.TopKExhaustive(s, k)
+		identical(fmt.Sprintf("subject %d pruned-vs-exhaustive", s), got, exh)
+		identical(fmt.Sprintf("subject %d pruned-vs-rebuild", s), got, oracle.TopK(s, k))
+	}
+	gateRng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 64; trial++ {
+		m := 1 + gateRng.Intn(3)
+		ts := make([]tags.Tag, m)
+		for j := range ts {
+			ts[j] = tags.Tag(gateRng.Intn(data.TagUniverse))
+		}
+		q, err := tags.NewPost(ts...)
+		if err != nil {
+			fail("query gate: %v", err)
+		}
+		got, _ := idx.Search(q, k)
+		exh, _ := idx.SearchExhaustive(q, k)
+		identical(fmt.Sprintf("search trial %d", trial), got, exh)
 	}
 
 	const minDur = 600 * time.Millisecond
@@ -395,6 +441,31 @@ func runQueryBenchmarks(data *sim.Data, batch int) QueryReport {
 	}
 	rep.OnlineQPS = float64(count) / time.Since(t0).Seconds()
 	rep.Speedup = rep.OnlineQPS / rep.RebuildQPS
+
+	// Exhaustive online execution (pruning disabled, same postings).
+	count = 0
+	t0 = time.Now()
+	for time.Since(t0) < minDur {
+		idx.TopKExhaustive(count%n, k)
+		count++
+	}
+	rep.ExhaustiveQPS = float64(count) / time.Since(t0).Seconds()
+	rep.PrunedSpeedup = rep.OnlineQPS / rep.ExhaustiveQPS
+
+	// Per-query latency distribution of the pruned path: individually
+	// timed queries over a shuffled subject order (so percentile shape
+	// isn't an artifact of subject id locality).
+	order := rand.New(rand.NewSource(3)).Perm(n)
+	samples := make([]float64, 0, 8192)
+	for len(samples) < cap(samples) {
+		s := order[len(samples)%n]
+		q0 := time.Now()
+		idx.TopK(s, k)
+		samples = append(samples, float64(time.Since(q0).Nanoseconds())/1e3)
+	}
+	sort.Float64s(samples)
+	rep.TopKP50Micros = samples[len(samples)/2]
+	rep.TopKP99Micros = samples[len(samples)*99/100]
 
 	// Tag-set search over random 1–3 tag queries.
 	rng := rand.New(rand.NewSource(1))
@@ -474,6 +545,80 @@ func queryCell(eng *engine.Engine, idx *ir.OnlineIndex, events []engine.PostEven
 	stop.Store(true)
 	wg.Wait()
 	return float64(total.Load()) / time.Since(start).Seconds()
+}
+
+// runCachedBenchmark drives the public Service facade — the real /topk
+// serving path: validation, the epoch-keyed result cache, then the
+// pruned online index — on a hot-subject working set with no concurrent
+// ingest, the regime the cache exists for. Answers are verified against
+// a cold inverted rebuild before timing: the cache must be invisible
+// except in speed. CachedSpeedup compares against the exhaustive online
+// execution, i.e. what /topk cost before this engine landed.
+func runCachedBenchmark(sc benchkit.Scenario, batch int, rep *QueryReport) {
+	const k = 10
+	ds, err := benchkit.RawDataset(sc.N, sc.Seed)
+	if err != nil {
+		fail("cached query: %v", err)
+	}
+	data, err := benchkit.Corpus(sc.N, sc.Seed)
+	if err != nil {
+		fail("cached query: %v", err)
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{})
+	if err != nil {
+		fail("cached query: %v", err)
+	}
+	defer svc.Close()
+	events := benchkit.FutureEvents(data)
+	for off := 0; off < len(events); off += batch {
+		end := off + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := svc.IngestMany(events[off:end]); err != nil {
+			fail("cached query ingest: %v", err)
+		}
+	}
+
+	hot := rand.New(rand.NewSource(5)).Perm(sc.N)[:64]
+	oracle := ir.BuildInverted(svc.SnapshotRFDs())
+	serve := func(s int) []ir.Scored {
+		res, _, err := svc.TopK(s, k)
+		if err != nil {
+			fail("cached query: %v", err)
+		}
+		return res
+	}
+	for _, s := range hot { // fill pass: every answer checked cold
+		got := serve(s)
+		want := oracle.TopK(s, k)
+		if len(got) != len(want) {
+			fail("cached equivalence: subject %d: %d vs %d results", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				fail("cached equivalence: subject %d rank %d: (%d,%v) vs (%d,%v)",
+					s, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+
+	count := 0
+	t0 := time.Now()
+	for time.Since(t0) < 600*time.Millisecond {
+		for j := 0; j < 256; j++ {
+			serve(hot[count%len(hot)])
+			count++
+		}
+	}
+	rep.CachedQPS = float64(count) / time.Since(t0).Seconds()
+	if rep.ExhaustiveQPS > 0 {
+		rep.CachedSpeedup = rep.CachedQPS / rep.ExhaustiveQPS
+	}
+	st := svc.QueryStats()
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		rep.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
 }
 
 // runAllocateBenchmarks measures lease-path throughput: total
@@ -653,6 +798,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "corpus/run seed (0 = scenario default)")
 	batch := flag.Int("batch", 256, "ingest batch size for the batched pipeline")
 	out := flag.String("out", "BENCH_engine.json", "output path (- for stdout)")
+	queryprof := flag.String("queryprof", "", "write a CPU pprof profile of the query benchmark suite to this path")
 	flag.Parse()
 
 	sc := benchkit.DefaultScenario()
@@ -719,9 +865,28 @@ func main() {
 	allocRep := runAllocateBenchmarks(data, 400*time.Millisecond)
 
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking live query path\n")
+	if *queryprof != "" {
+		f, err := os.Create(*queryprof)
+		if err != nil {
+			fail("queryprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("queryprof: %v", err)
+		}
+		defer f.Close()
+	}
 	queryRep := runQueryBenchmarks(data, *batch)
+	runCachedBenchmark(sc, *batch, &queryRep)
+	if *queryprof != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "tagbench: query CPU profile written to %s\n", *queryprof)
+	}
 	fmt.Fprintf(os.Stderr, "tagbench: query online %.0f topk/sec vs per-request rebuild %.0f/sec — %.1fx; search %.0f/sec\n",
 		queryRep.OnlineQPS, queryRep.RebuildQPS, queryRep.Speedup, queryRep.SearchQPS)
+	fmt.Fprintf(os.Stderr, "tagbench: pruned %.0f topk/sec vs exhaustive %.0f/sec — %.1fx (p50 %.0fµs p99 %.0fµs); cached serving %.0f topk/sec — %.0fx vs exhaustive (hit rate %.2f)\n",
+		queryRep.OnlineQPS, queryRep.ExhaustiveQPS, queryRep.PrunedSpeedup,
+		queryRep.TopKP50Micros, queryRep.TopKP99Micros,
+		queryRep.CachedQPS, queryRep.CachedSpeedup, queryRep.CacheHitRate)
 
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking crash recovery\n")
 	recovery := runRecoveryBenchmark(data, *batch)

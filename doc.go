@@ -104,6 +104,22 @@
 // reports the index census; GET /topk and GET /search expose the
 // queries over HTTP.
 //
+// Query execution uses a block-max pruned engine: posting lists are
+// kept count-descending in fixed blocks, each carrying an upper bound
+// on its entries' score contribution, and a MaxScore-style executor
+// defers whole tags and skips whole blocks that cannot lift any
+// candidate past the running kth score. Pruning is exact — every
+// comparison carries a slack so float rearrangement can only
+// under-prune, and survivors are rescored with the original float
+// expressions — so answers stay bit-identical to the exhaustive
+// executor (kept in-tree as the oracle). Service.TopK additionally
+// memoizes hot subjects in an epoch-keyed result cache: entries are
+// valid only at the exact index epoch they were computed under, so any
+// ingest silently expires them and a cache hit can never serve stale
+// state. Executor and cache counters (blocks skipped, tags deferred,
+// candidates scored, cache hits/misses/entries) surface through
+// QueryStats and GET /info.
+//
 // # Quick start
 //
 //	ds, _ := incentivetag.Generate(incentivetag.DefaultConfig(500, 1))

@@ -50,19 +50,40 @@ func (sc Scenario) Checkpoints() []int {
 }
 
 var (
-	corpusMu    sync.Mutex
-	corpusCache = map[[2]int64]*sim.Data{}
+	corpusMu     sync.Mutex
+	corpusCache  = map[[2]int64]*sim.Data{}
+	datasetCache = map[[2]int64]*synth.Dataset{}
 )
 
 // Corpus returns a cached deterministic replay corpus for (n, seed);
 // generation is the expensive part of the scenario and is shared across
 // benchmark iterations and variants.
 func Corpus(n int, seed int64) (*sim.Data, error) {
+	ds, err := RawDataset(n, seed)
+	if err != nil {
+		return nil, err
+	}
 	key := [2]int64{int64(n), seed}
 	corpusMu.Lock()
 	defer corpusMu.Unlock()
 	if d, ok := corpusCache[key]; ok {
 		return d, nil
+	}
+	d := sim.FromDataset(ds, 0)
+	corpusCache[key] = d
+	return d, nil
+}
+
+// RawDataset returns the generated dataset behind Corpus(n, seed) — the
+// same cached corpus, before the sim projection — for benchmarks that
+// drive the public Service facade (which constructs its own engine from
+// a Dataset).
+func RawDataset(n int, seed int64) (*synth.Dataset, error) {
+	key := [2]int64{int64(n), seed}
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if ds, ok := datasetCache[key]; ok {
+		return ds, nil
 	}
 	cfg := synth.DefaultConfig(n, seed)
 	cfg.Drift = nil
@@ -70,9 +91,8 @@ func Corpus(n int, seed int64) (*sim.Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := sim.FromDataset(ds, 0)
-	corpusCache[key] = d
-	return d, nil
+	datasetCache[key] = ds
+	return ds, nil
 }
 
 // Run executes one checkpoint-dense run over data. reference=true uses

@@ -1,7 +1,6 @@
 package ir
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -94,28 +93,71 @@ type topKSelector struct {
 }
 
 func newTopKSelector(k int) *topKSelector {
-	return &topKSelector{k: k, h: make(scoredHeap, 0, k+1)}
+	return &topKSelector{k: k, h: make(scoredHeap, 0, k)}
 }
 
+// push offers a candidate, keeping the best k under the heap's
+// comparator. The sift loops are inlined rather than delegated to
+// container/heap because heap.Push/Pop box every Scored into an
+// interface — an allocation per candidate on the hottest loop of every
+// query path. The kept set is a pure function of the offered
+// (id, score) pairs (the comparator is a strict total order — ids are
+// unique within a query), so the replacement is behaviour-identical.
 func (s *topKSelector) push(id int, score float64) {
-	if len(s.h) < s.k {
-		heap.Push(&s.h, Scored{ID: id, Score: score})
-	} else if s.h[0].Score < score || (s.h[0].Score == score && s.h[0].ID > id) {
-		heap.Pop(&s.h)
-		heap.Push(&s.h, Scored{ID: id, Score: score})
+	h := s.h
+	if len(h) < s.k {
+		h = append(h, Scored{ID: id, Score: score})
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !h.Less(i, p) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		s.h = h
+		return
+	}
+	if h[0].Score < score || (h[0].Score == score && h[0].ID > id) {
+		h[0] = Scored{ID: id, Score: score}
+		for i, n := 0, len(h); ; {
+			m := 2*i + 1
+			if m >= n {
+				break
+			}
+			if r := m + 1; r < n && h.Less(r, m) {
+				m = r
+			}
+			if !h.Less(m, i) {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
 	}
 }
 
 func (s *topKSelector) len() int { return len(s.h) }
 
-// results drains the heap into the final ranking. The stable sort
-// normalizes exact ties for determinism regardless of push order.
+// threshold returns the current kth-best score once the heap is full;
+// before that full is false and nothing may be pruned (a candidate with
+// any score — even 0 — still enters the heap).
+func (s *topKSelector) threshold() (th float64, full bool) {
+	if len(s.h) < s.k {
+		return 0, false
+	}
+	return s.h[0].Score, true
+}
+
+// results drains the selector into the final ranking. Ids are unique
+// within a query, so the (score desc, id asc) order is a strict total
+// order and the sorted output is deterministic regardless of push order
+// or heap layout.
 func (s *topKSelector) results() []Scored {
 	out := make([]Scored, len(s.h))
-	for i := len(s.h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&s.h).(Scored)
-	}
-	sort.SliceStable(out, func(a, b int) bool {
+	copy(out, s.h)
+	s.h = s.h[:0]
+	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}

@@ -7,6 +7,13 @@
 // per-post ingest deltas, so a query only ever touches the subject's
 // posting lists and the corpus is never rescanned after the one-time
 // seed at construction.
+//
+// Since the block-max rework (see blockmax.go) the serving TopK/Search
+// paths additionally prune: posting lists are impact-ordered and
+// blocked, and whole blocks/tags whose score upper bound cannot beat
+// the current kth answer are skipped outright — bit-identical to the
+// exhaustive paths, which remain available as TopKExhaustive and
+// SearchExhaustive (the pruning oracle and benchmark baseline).
 package ir
 
 import (
@@ -46,7 +53,9 @@ import (
 // exactly representable in float64, so TopK is bit-identical to
 // BuildInverted(SnapshotRFDs()).TopK over the same state regardless of
 // the order posts arrived — asserted posting-for-posting by the
-// randomized equivalence tests.
+// randomized equivalence tests. The pruned serving paths preserve this
+// bit-identity: see the blockmax.go header for why every skip decision
+// is provably safe.
 type OnlineIndex struct {
 	n      int
 	shards []*onlineShard
@@ -56,37 +65,52 @@ type OnlineIndex struct {
 	// writer can be mid-apply), so a query's reported epoch is exact.
 	epoch atomic.Uint64
 
-	topkQueries   atomic.Uint64
-	searchQueries atomic.Uint64
+	// dir is the tag directory: tag → its posting list in every shard
+	// (nil where the shard has none) plus the tag's index-wide impact
+	// bound, so a query plans with ONE map lookup and ONE atomic load
+	// per tag instead of a walk over every shard. Row-slot writes happen
+	// only at list creation, under the owning shard's write lock plus
+	// censusMu (serializing creators on different shards); queries read
+	// the rows lock-free because they hold every shard's read lock,
+	// which excludes all writers.
+	dir map[tags.Tag]*dirRow
+
+	// norm2[id] caches resource id's scoring norm: its squared norm, or
+	// 0 when the resource has no posts (the exhaustive paths skip those
+	// candidates) — one dense read on the selection hot path instead of
+	// two pointer chases into the count vector. Each element is written
+	// only by its owning shard's writer under that shard's lock and read
+	// under the all-shards query view.
+	norm2 []float64
+
+	// scratchPool recycles per-query state (visited set, tag plan, heap
+	// backing) so the serving read path allocates nothing but its result.
+	scratchPool sync.Pool
+
+	// census counters, maintained incrementally on first-touch posting
+	// creation so Stats is O(1) instead of a full posting-list walk.
+	// censusMu nests inside a shard write lock (never the reverse).
+	censusMu     sync.Mutex
+	tagPostings  map[tags.Tag]int
+	postingCount int
+	maxPostings  int
+
+	topkQueries      atomic.Uint64
+	searchQueries    atomic.Uint64
+	blocksSkipped    atomic.Uint64
+	tagsDeferred     atomic.Uint64
+	candidatesScored atomic.Uint64
 }
 
 // onlineShard owns the resources with id ≡ shardID (mod S): their count
 // vectors and the posting lists of every tag those resources use.
 type onlineShard struct {
 	mu sync.RWMutex
-	// postings maps tag → the shard-local posting list.
-	postings map[tags.Tag]*postingList
+	// postings maps tag → the shard-local block-max posting list.
+	postings map[tags.Tag]*bmList
 	// vecs[l] is the count vector of global resource l*S + shardID; the
 	// index owns these (they are mutated by Apply).
 	vecs []*sparse.Counts
-}
-
-// postingList is one tag's (resource, count) entries plus an id→slot
-// lookup, so an incremental count bump is O(1) and a query scan is a
-// dense slice walk.
-type postingList struct {
-	entries []posting
-	slot    map[int32]int32
-}
-
-// bump adds delta to the resource's posting, appending on first touch.
-func (pl *postingList) bump(id int32, delta int64) {
-	if s, ok := pl.slot[id]; ok {
-		pl.entries[s].count += delta
-		return
-	}
-	pl.slot[id] = int32(len(pl.entries))
-	pl.entries = append(pl.entries, posting{id: id, count: delta})
 }
 
 // NewOnlineIndex seeds an online index from the given rfd snapshots,
@@ -98,29 +122,70 @@ func NewOnlineIndex(rfds []*sparse.Counts, shards int) *OnlineIndex {
 	if shards <= 0 {
 		shards = 1
 	}
-	ix := &OnlineIndex{n: len(rfds), shards: make([]*onlineShard, shards)}
+	ix := &OnlineIndex{
+		n:           len(rfds),
+		shards:      make([]*onlineShard, shards),
+		dir:         make(map[tags.Tag]*dirRow),
+		norm2:       make([]float64, len(rfds)),
+		tagPostings: make(map[tags.Tag]int),
+	}
 	for s := range ix.shards {
-		ix.shards[s] = &onlineShard{postings: make(map[tags.Tag]*postingList)}
+		ix.shards[s] = &onlineShard{postings: make(map[tags.Tag]*bmList)}
 	}
 	for i, c := range rfds {
 		sh := ix.shards[i%shards]
 		sh.vecs = append(sh.vecs, c)
+		if c.Posts() > 0 {
+			ix.norm2[i] = c.Norm2()
+		}
 		for _, t := range c.Support() {
-			sh.posting(t).bump(int32(i), c.Get(t))
+			ix.posting(i%shards, t).seedAppend(int32(i), c.Get(t))
+			ix.notePosting(t)
+		}
+	}
+	for _, sh := range ix.shards {
+		for _, pl := range sh.postings {
+			pl.finalize(func(id int32) float64 { return ix.rfdLocked(id).Norm2() })
 		}
 	}
 	return ix
 }
 
-// posting returns the shard's posting list for t, creating it on first
-// use. Caller holds the shard's write lock (or is the constructor).
-func (sh *onlineShard) posting(t tags.Tag) *postingList {
+// posting returns shard s's posting list for t, creating it — and its
+// tag-directory row — on first use. Caller holds shard s's write lock
+// (or is the constructor); censusMu serializes directory writers racing
+// from different shards.
+func (ix *OnlineIndex) posting(s int, t tags.Tag) *bmList {
+	sh := ix.shards[s]
 	pl := sh.postings[t]
 	if pl == nil {
-		pl = &postingList{slot: make(map[int32]int32)}
+		pl = &bmList{slot: make(map[int32]int32), runStart: make(map[int32]int32), shard: int32(s)}
+		ix.censusMu.Lock()
+		row := ix.dir[t]
+		if row == nil {
+			row = &dirRow{slots: make([]rowSlot, len(ix.shards))}
+			ix.dir[t] = row
+		}
+		row.slots[s].pl = pl
+		ix.censusMu.Unlock()
+		pl.row = row
 		sh.postings[t] = pl
 	}
 	return pl
+}
+
+// notePosting records a newly created posting entry in the census. Safe
+// under any shard lock; first-touch only, so steady-state ingest never
+// takes censusMu.
+func (ix *OnlineIndex) notePosting(t tags.Tag) {
+	ix.censusMu.Lock()
+	ix.postingCount++
+	n := ix.tagPostings[t] + 1
+	ix.tagPostings[t] = n
+	if n > ix.maxPostings {
+		ix.maxPostings = n
+	}
+	ix.censusMu.Unlock()
 }
 
 // N returns the number of indexed resources.
@@ -134,19 +199,25 @@ func (ix *OnlineIndex) locate(i int) (*onlineShard, int) {
 // Apply folds one ingested post into the index: the resource's count
 // vector absorbs the post (each tag's count-delta is +1 — a post names
 // a tag at most once) and the touched posting lists are bumped in
-// place. Safe for concurrent use; posts for resources on different
-// shards proceed in parallel. Callers must apply each resource's posts
-// in ingest order (the engine's subscriber hook runs under the shard
-// lock, which guarantees exactly that).
+// place, each bump preserving its list's count-descending block-max
+// order in O(1). Safe for concurrent use; posts for resources on
+// different shards proceed in parallel. Callers must apply each
+// resource's posts in ingest order (the engine's subscriber hook runs
+// under the shard lock, which guarantees exactly that).
 func (ix *OnlineIndex) Apply(resource int, p tags.Post) {
 	if resource < 0 || resource >= ix.n || len(p) == 0 {
 		return
 	}
-	sh, l := ix.locate(resource)
+	s := resource % len(ix.shards)
+	sh, l := ix.shards[s], resource/len(ix.shards)
 	sh.mu.Lock()
 	sh.vecs[l].Add(p)
+	norm2 := sh.vecs[l].Norm2()
+	ix.norm2[resource] = norm2 // a post landed, so the resource scores
 	for _, t := range p {
-		sh.posting(t).bump(int32(resource), 1)
+		if ix.posting(s, t).bumpOne(int32(resource), norm2, ix.norm2) {
+			ix.notePosting(t)
+		}
 	}
 	ix.epoch.Add(1)
 	sh.mu.Unlock()
@@ -179,10 +250,46 @@ func (ix *OnlineIndex) runlockAll() {
 }
 
 // TopK returns the k most similar resources to subject over the live
-// state, bit-identical to BuildInverted(SnapshotRFDs()).TopK at the
-// returned epoch, without cloning or rescanning anything. Invalid
+// state, bit-identical to BuildInverted(SnapshotRFDs()).TopK (and to
+// TopKExhaustive) at the returned epoch, without cloning or rescanning
+// anything. It runs the block-max pruned executor: subject tags are
+// processed by decreasing score bound and posting blocks that provably
+// cannot reach the current kth score are skipped unscored. Invalid
 // subjects or k ≤ 0 return nil.
 func (ix *OnlineIndex) TopK(subject, k int) ([]Scored, uint64) {
+	ix.topkQueries.Add(1)
+	if k <= 0 || subject < 0 || subject >= ix.n {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	sh, l := ix.locate(subject)
+	subj := sh.vecs[l]
+	subjNorm := math.Sqrt(subj.Norm2())
+	if subjNorm == 0 || subj.Posts() == 0 {
+		return rankTopK(ix.n, subject, k, 0, nil, ix.rfdLocked), epoch
+	}
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	// One pass lifts the subject's support and weights together; the
+	// executor orders tags by bound itself, and the exact-integer dots
+	// make every downstream sum order-independent, so the ascending
+	// order Support would give buys nothing here.
+	sc.support, sc.weights = sc.support[:0], sc.weights[:0]
+	subj.ForEach(func(t tags.Tag, c int64) {
+		sc.support = append(sc.support, t)
+		sc.weights = append(sc.weights, float64(c))
+	})
+	pq := prunedQuery{subject: subject, tags: sc.support, weights: sc.weights, subjNorm: subjNorm}
+	return ix.runPruned(&pq, k, sc, true), epoch
+}
+
+// TopKExhaustive is the pre-pruning serving path, preserved verbatim as
+// the pruning oracle and benchmark baseline: it touches every posting
+// of every subject tag and accumulates dot products in a per-query map.
+// Results are bit-identical to TopK at the same epoch.
+func (ix *OnlineIndex) TopKExhaustive(subject, k int) ([]Scored, uint64) {
 	ix.topkQueries.Add(1)
 	if k <= 0 || subject < 0 || subject >= ix.n {
 		return nil, ix.epoch.Load()
@@ -222,16 +329,66 @@ func (ix *OnlineIndex) rfdLocked(id int32) *sparse.Counts {
 	return sh.vecs[l]
 }
 
+// normalizeQuery enforces the tags.Post invariant (sorted, distinct,
+// non-negative) on a search query, returning the input unchanged when
+// it already holds. Queries that normalize to nothing (or contain
+// invalid ids) return nil.
+func normalizeQuery(q tags.Post) tags.Post {
+	clean := true
+	for i, t := range q {
+		if t < 0 || (i > 0 && t <= q[i-1]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return q
+	}
+	p, err := tags.NewPost(q...)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
 // Search ranks resources by cosine similarity between the query tag set
 // (a unit-count vector: each distinct tag weighs 1) and every live rfd
-// — the paper's query-by-tag-set retrieval operation. Only resources
-// sharing at least one query tag can score above zero, so the result
-// holds at most min(k, |candidates|) entries, score-descending with
-// ties broken toward smaller ids; zero-overlap resources are not
-// padded in (an empty result means nothing matched). Returns the
+// — the paper's query-by-tag-set retrieval operation. The query is
+// deduplicated internally, so a tag listed twice scores exactly like a
+// tag listed once (callers below the HTTP layer used to see inflated
+// dots against an un-deduplicated norm). Only resources sharing at
+// least one query tag can score above zero, so the result holds at most
+// min(k, |candidates|) entries, score-descending with ties broken
+// toward smaller ids; zero-overlap resources are not padded in (an
+// empty result means nothing matched). Like TopK it runs the block-max
+// pruned executor, bit-identical to SearchExhaustive. Returns the
 // epoch-consistent view it scored against.
 func (ix *OnlineIndex) Search(query tags.Post, k int) ([]Scored, uint64) {
 	ix.searchQueries.Add(1)
+	query = normalizeQuery(query)
+	if k <= 0 || len(query) == 0 || ix.n == 0 {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	// The query vector's squared norm is |query| exactly (unit counts
+	// over distinct tags). The score expression mirrors
+	// sparse.Counts.Cosine term for term (single sqrt of the norm
+	// product, same clamping), so a Search score is bit-identical to
+	// Cosine against a count vector holding the query.
+	pq := prunedQuery{subject: -1, tags: query, qNorm2: float64(len(query)), search: true}
+	return ix.runPruned(&pq, k, sc, false), epoch
+}
+
+// SearchExhaustive is the pre-pruning Search, preserved as the pruning
+// oracle and benchmark baseline (with the same internal query dedup).
+// Results are bit-identical to Search at the same epoch.
+func (ix *OnlineIndex) SearchExhaustive(query tags.Post, k int) ([]Scored, uint64) {
+	ix.searchQueries.Add(1)
+	query = normalizeQuery(query)
 	if k <= 0 || len(query) == 0 || ix.n == 0 {
 		return nil, ix.epoch.Load()
 	}
@@ -250,11 +407,6 @@ func (ix *OnlineIndex) Search(query tags.Post, k int) ([]Scored, uint64) {
 			}
 		}
 	}
-	// The query vector's squared norm is |query| exactly (unit counts).
-	// The score expression mirrors sparse.Counts.Cosine term for term
-	// (single sqrt of the norm product, same clamping), so a Search
-	// score is bit-identical to Cosine against a count vector holding
-	// the query.
 	qNorm2 := float64(len(query))
 	sel := newTopKSelector(k)
 	for id, dot := range dots {
@@ -292,7 +444,7 @@ func (ix *OnlineIndex) PostingEntries(t tags.Tag) []Posting {
 		}
 		for _, p := range pl.entries {
 			if p.count != 0 {
-				out = append(out, Posting{ID: p.id, Count: p.count})
+				out = append(out, Posting{ID: p.id, Count: int64(p.count)})
 			}
 		}
 	}
@@ -333,40 +485,51 @@ type OnlineStats struct {
 	Shards    int `json:"shards"`
 	// Tags and Postings size the inverted structure; MaxPostings is the
 	// longest single posting list (the worst-case candidate fan-out of
-	// one query tag).
+	// one query tag). All three are O(1) reads of incrementally
+	// maintained counters.
 	Tags        int `json:"tags"`
 	Postings    int `json:"postings"`
 	MaxPostings int `json:"max_postings"`
-	// TopKQueries / SearchQueries count queries served since boot.
+	// TopKQueries / SearchQueries count queries executed by the index
+	// since boot (Service-level cache hits never reach the index; see
+	// CacheHits).
 	TopKQueries   uint64 `json:"topk_queries"`
 	SearchQueries uint64 `json:"search_queries"`
+	// BlocksSkipped / TagsDeferred / CandidatesScored meter the pruned
+	// executor: posting blocks whose upper bound could not beat the
+	// running kth score (skipped unscored), whole posting lists the
+	// MaxScore condition ruled out of the scan (survivors re-add their
+	// contribution with one lookup each), and candidates that survived
+	// to an exact rescore.
+	BlocksSkipped    uint64 `json:"blocks_skipped"`
+	TagsDeferred     uint64 `json:"tags_deferred"`
+	CandidatesScored uint64 `json:"candidates_scored"`
+	// CacheHits / CacheMisses / CacheEntries describe the Service-level
+	// epoch-keyed result cache (zero when the index is driven directly).
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
 }
 
-// Stats computes the index census under a consistent read view.
+// Stats reads the index census in O(1): every field is an atomic or an
+// incrementally maintained counter — no shard lock, no posting walk. A
+// census read racing ingest may see a posting-count a hair ahead of the
+// epoch it reports; each counter is individually exact.
 func (ix *OnlineIndex) Stats() OnlineStats {
-	ix.rlockAll()
-	defer ix.runlockAll()
 	st := OnlineStats{
-		Epoch:         ix.epoch.Load(),
-		Resources:     ix.n,
-		Shards:        len(ix.shards),
-		TopKQueries:   ix.topkQueries.Load(),
-		SearchQueries: ix.searchQueries.Load(),
+		Epoch:            ix.epoch.Load(),
+		Resources:        ix.n,
+		Shards:           len(ix.shards),
+		TopKQueries:      ix.topkQueries.Load(),
+		SearchQueries:    ix.searchQueries.Load(),
+		BlocksSkipped:    ix.blocksSkipped.Load(),
+		TagsDeferred:     ix.tagsDeferred.Load(),
+		CandidatesScored: ix.candidatesScored.Load(),
 	}
-	perTag := make(map[tags.Tag]int)
-	for _, sh := range ix.shards {
-		for t, pl := range sh.postings {
-			if len(pl.entries) > 0 {
-				perTag[t] += len(pl.entries)
-			}
-		}
-	}
-	st.Tags = len(perTag)
-	for _, n := range perTag {
-		st.Postings += n
-		if n > st.MaxPostings {
-			st.MaxPostings = n
-		}
-	}
+	ix.censusMu.Lock()
+	st.Tags = len(ix.tagPostings)
+	st.Postings = ix.postingCount
+	st.MaxPostings = ix.maxPostings
+	ix.censusMu.Unlock()
 	return st
 }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -128,6 +129,76 @@ func TestQueryEndpointsDeferred(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Fatalf("%s = %d before install, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// The /info query census must surface the pruned-executor and
+// result-cache counters introduced with the block-max engine — as typed
+// fields and under their stable wire names, since dashboards consume
+// the raw JSON.
+func TestInfoQueryExecutorCounters(t *testing.T) {
+	h := newHarness(t, 0)
+
+	// First /topk fills the epoch-keyed result cache; the repeat must be
+	// served from it bit-identically.
+	var first, second server.TopKResponse
+	h.call(t, "GET", "/topk?resource=0&k=5", nil, &first, http.StatusOK)
+	h.call(t, "GET", "/topk?resource=0&k=5", nil, &second, http.StatusOK)
+	if len(first.Top) != len(second.Top) || first.Epoch != second.Epoch {
+		t.Fatalf("cached repeat diverged: %+v vs %+v", first, second)
+	}
+	for i := range first.Top {
+		if first.Top[i] != second.Top[i] {
+			t.Fatalf("cached repeat rank %d: %+v vs %+v", i, first.Top[i], second.Top[i])
+		}
+	}
+
+	var info server.InfoResponse
+	h.call(t, "GET", "/info", nil, &info, http.StatusOK)
+	q := info.Queries
+	if q.CandidatesScored == 0 {
+		t.Fatalf("executor counters dead: %+v", q)
+	}
+	if q.CacheMisses == 0 || q.CacheHits == 0 || q.CacheEntries == 0 {
+		t.Fatalf("result-cache counters dead: %+v", q)
+	}
+
+	// Ingest expires the cache: the same query misses again.
+	h.call(t, "POST", "/ingest", server.IngestRequest{Resource: 1, Tags: []int32{3}}, nil, http.StatusOK)
+	var after server.TopKResponse
+	h.call(t, "GET", "/topk?resource=0&k=5", nil, &after, http.StatusOK)
+	if after.Epoch != first.Epoch+1 {
+		t.Fatalf("epoch %d after ingest, want %d", after.Epoch, first.Epoch+1)
+	}
+	var info2 server.InfoResponse
+	h.call(t, "GET", "/info", nil, &info2, http.StatusOK)
+	if info2.Queries.CacheMisses <= q.CacheMisses {
+		t.Fatalf("post-ingest query did not miss: %+v vs %+v", info2.Queries, q)
+	}
+
+	// Wire names: the raw /info JSON must carry every counter under its
+	// documented key.
+	resp, err := http.Get(h.ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	queries, ok := raw["queries"].(map[string]any)
+	if !ok {
+		t.Fatalf("/info lacks queries object: %v", raw)
+	}
+	for _, key := range []string{
+		"epoch", "topk_queries", "search_queries",
+		"blocks_skipped", "tags_deferred", "candidates_scored",
+		"cache_hits", "cache_misses", "cache_entries",
+	} {
+		if _, ok := queries[key]; !ok {
+			t.Errorf("/info queries missing %q: %v", key, queries)
 		}
 	}
 }

@@ -270,13 +270,40 @@ func (c *Counts) forEach(fn func(t tags.Tag, n int64)) {
 	}
 }
 
+// ForEach visits every non-zero (tag, count) entry in unspecified
+// order, without allocating. The query engine uses it to lift a
+// subject's support and weights in one pass; callers needing ascending
+// order should use AppendSupport instead.
+func (c *Counts) ForEach(fn func(t tags.Tag, n int64)) { c.forEach(fn) }
+
 // Support returns the non-zero tag ids in ascending order.
 func (c *Counts) Support() []tags.Tag {
-	out := make([]tags.Tag, 0, c.Len())
-	c.forEach(func(t tags.Tag, _ int64) { out = append(out, t) })
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return c.AppendSupport(make([]tags.Tag, 0, c.Len()))
 }
+
+// AppendSupport appends the non-zero tag ids to dst in ascending order
+// and returns the extended slice. It is the allocation-free counterpart
+// of Support for callers that pool their scratch (the query engine's
+// per-query tag plan): when dst has capacity and the vector is dense-only
+// the call performs no allocation at all.
+func (c *Counts) AppendSupport(dst []tags.Tag) []tags.Tag {
+	start := len(dst)
+	c.forEach(func(t tags.Tag, _ int64) { dst = append(dst, t) })
+	// The dense base is visited in ascending id order already; only map
+	// entries (map form, or the hybrid spill) arrive unordered.
+	if len(c.m) > 0 {
+		sort.Sort(tagSlice(dst[start:]))
+	}
+	return dst
+}
+
+// tagSlice orders tag ids ascending without the closure allocation of
+// sort.Slice.
+type tagSlice []tags.Tag
+
+func (s tagSlice) Len() int           { return len(s) }
+func (s tagSlice) Less(i, j int) bool { return s[i] < s[j] }
+func (s tagSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // Dot returns the inner product of two count vectors, iterating over the
 // smaller support. Every term is a product of integers and the sum stays
