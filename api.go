@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"incentivetag/internal/admit"
 	"incentivetag/internal/alloc"
 	"incentivetag/internal/core"
 	"incentivetag/internal/crowd"
@@ -779,6 +780,20 @@ func (s *Service) SnapshotRFDs() []*Counts { return s.eng.SnapshotRFDs() }
 // QueryStats is a census of the live query index (epoch, posting-list
 // shape, queries served).
 type QueryStats = ir.OnlineStats
+
+// AdmissionConfig configures the HTTP front-end's overload control:
+// Rate/Burst token-bucket the crowd's bulk ingest (shed with 429 +
+// Retry-After when the bucket runs dry), MaxInFlight bounds total
+// serving concurrency, and Queue/QueueWait give interactive requests a
+// small bounded wait for a slot before they too are shed. The zero
+// value admits everything. Limits are per process — a fleet behind a
+// load balancer multiplies them by the replica count.
+type AdmissionConfig = admit.Config
+
+// AdmissionStats is the admission controller's census: per-class
+// outcome counters (admitted/shed/timed-out) plus the live in-flight
+// and queue-depth gauges, as also exported via GET /metrics/prom.
+type AdmissionStats = admit.Stats
 
 // TopK answers the top-k similar-resource query (§V-C.1) from the live
 // online index: no snapshot clone, no index rebuild — the posting lists

@@ -231,6 +231,7 @@ type Report struct {
 	Allocate AllocateReport `json:"allocate"`
 	Query    QueryReport    `json:"query"`
 	Recovery RecoveryReport `json:"recovery"`
+	Overload OverloadReport `json:"overload"`
 }
 
 func fail(format string, args ...any) {
@@ -896,6 +897,11 @@ func main() {
 		recovery.Speedup, recovery.BytesRatio,
 		recovery.LogBytes>>10, recovery.LogBytesAfterCompact>>10, recovery.SegmentsCompacted)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking overload admission path (0.5x/1x/2x of %g bulk/sec)\n", overloadBulkRate)
+	overload := runOverloadBenchmark(sc.Seed)
+	fmt.Fprintf(os.Stderr, "tagbench: overload 2x sheds %.0f%% of bulk; interactive p99 headroom %.2f (>=1 keeps the 5x SLO bound)\n",
+		100*overload.BulkShedFraction2x, overload.InteractiveP99Headroom)
+
 	// PR 1-style engine numbers, measured in this same process: the fig6
 	// checkpoint run normalized per post (construction + ingest +
 	// checkpoints — the only per-post engine cost PR 1 recorded).
@@ -931,6 +937,7 @@ func main() {
 		Allocate:         allocRep,
 		Query:            queryRep,
 		Recovery:         recovery,
+		Overload:         overload,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,283 @@
+// Overload benchmark: drive an admission-controlled HTTP server at
+// 0.5x / 1x / 2x of its configured bulk capacity with a concurrent
+// interactive query stream, open-loop (requests are fired on a pacing
+// clock and never wait for each other — the arrival rate does not slow
+// down because the server does). The point being measured is the SLO
+// story of internal/admit: past capacity the server sheds bulk with
+// 429s while interactive latency stays bounded, and it never answers
+// 5xx.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incentivetag"
+	"incentivetag/internal/server"
+)
+
+// Overload scenario shape: the bulk token bucket is the deliberate
+// capacity limit; the phases offer multiples of it.
+const (
+	overloadN          = 1500
+	overloadBulkRate   = 250.0 // bulk batches/sec the server admits
+	overloadBurst      = 50
+	overloadInflight   = 32
+	overloadQueue      = 64
+	overloadQueueWait  = 100 * time.Millisecond
+	overloadPhaseTime  = 1200 * time.Millisecond
+	overloadBatch      = 16 // posts per bulk ingest request
+	overloadInterRate  = 250.0
+	overloadBodyPool   = 64
+	latencyClampMicros = 1000.0 // sub-ms p99s clamp up: quantization noise floor
+)
+
+// OverloadPhase is one offered-load step of the suite.
+type OverloadPhase struct {
+	Multiplier float64 `json:"multiplier"`
+
+	OfferedBulk        int `json:"offered_bulk"`
+	OfferedInteractive int `json:"offered_interactive"`
+
+	BulkAdmitted        int `json:"bulk_admitted"`
+	BulkShed            int `json:"bulk_shed"`
+	InteractiveAdmitted int `json:"interactive_admitted"`
+	InteractiveShed     int `json:"interactive_shed"`
+	ServerErrors        int `json:"server_errors_5xx"`
+
+	InteractiveP50Micros float64 `json:"interactive_p50_us"`
+	InteractiveP99Micros float64 `json:"interactive_p99_us"`
+}
+
+// OverloadReport is the suite's summary. InteractiveP99Headroom is the
+// gated SLO ratio: 5 × p99(0.5x) / p99(2x), both clamped to a 1ms
+// noise floor — ≥ 1 means the interactive p99 at 2x offered load is
+// within the required 5x of the uncontended p99.
+type OverloadReport struct {
+	BulkRatePerSec    float64 `json:"bulk_rate_per_sec"`
+	MaxInFlight       int     `json:"max_in_flight"`
+	QueueWaitMillis   int64   `json:"queue_wait_ms"`
+	PhaseMillis       int64   `json:"phase_ms"`
+	InteractiveOffers float64 `json:"interactive_base_per_sec"`
+
+	Phases []OverloadPhase `json:"phases"`
+
+	BulkShedFraction2x     float64 `json:"bulk_shed_fraction_2x"`
+	InteractiveP99Headroom float64 `json:"interactive_p99_headroom"`
+}
+
+// quantileMicros returns quantile q of the samples in microseconds
+// (0 when empty). Samples are mutated (sorted) in place.
+func quantileMicros(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(float64(len(samples))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return float64(samples[idx]) / float64(time.Microsecond)
+}
+
+// paceOpenLoop fires fire() at the target rate for d, never waiting
+// for a previous request to finish, and returns how many were fired.
+func paceOpenLoop(d time.Duration, rate float64, fire func()) int {
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	fired := 0
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		fired++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fire()
+		}()
+	}
+	wg.Wait()
+	return fired
+}
+
+// runOverloadPhase offers mult × capacity for one phase window.
+func runOverloadPhase(hc *http.Client, base string, n int, universe int, bodies [][]byte, mult float64) OverloadPhase {
+	ph := OverloadPhase{Multiplier: mult}
+	var bulkOK, bulkShed, interOK, interShed, errs5xx atomic.Int64
+	var bodyIdx, subject atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ph.OfferedBulk = paceOpenLoop(overloadPhaseTime, overloadBulkRate*mult, func() {
+			body := bodies[int(bodyIdx.Add(1))%len(bodies)]
+			resp, err := hc.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs5xx.Add(1) // transport failure counts against the server
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				bulkOK.Add(1)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				bulkShed.Add(1)
+			case resp.StatusCode >= 500:
+				errs5xx.Add(1)
+			}
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		ph.OfferedInteractive = paceOpenLoop(overloadPhaseTime, overloadInterRate*mult, func() {
+			r := int(subject.Add(1)) % n
+			start := time.Now()
+			resp, err := hc.Get(fmt.Sprintf("%s/topk?resource=%d&k=10", base, r))
+			if err != nil {
+				errs5xx.Add(1)
+				return
+			}
+			elapsed := time.Since(start)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				interOK.Add(1)
+				latMu.Lock()
+				lats = append(lats, elapsed)
+				latMu.Unlock()
+			case resp.StatusCode == http.StatusTooManyRequests:
+				interShed.Add(1)
+			case resp.StatusCode >= 500:
+				errs5xx.Add(1)
+			}
+		})
+	}()
+	wg.Wait()
+
+	ph.BulkAdmitted = int(bulkOK.Load())
+	ph.BulkShed = int(bulkShed.Load())
+	ph.InteractiveAdmitted = int(interOK.Load())
+	ph.InteractiveShed = int(interShed.Load())
+	ph.ServerErrors = int(errs5xx.Load())
+	ph.InteractiveP50Micros = quantileMicros(lats, 0.50)
+	ph.InteractiveP99Micros = quantileMicros(lats, 0.99)
+	_ = universe
+	return ph
+}
+
+// runOverloadBenchmark stands up a real Service behind the admission-
+// controlled HTTP front-end and measures the 0.5x/1x/2x ladder. It
+// fails the whole bench run on any 5xx or if 2x offered load sheds no
+// bulk — both would mean the admission layer is not doing its job.
+func runOverloadBenchmark(seed int64) OverloadReport {
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(overloadN, seed))
+	if err != nil {
+		fail("overload corpus: %v", err)
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{Strategy: "FP-MU", Seed: seed})
+	if err != nil {
+		fail("overload service: %v", err)
+	}
+	defer svc.Close()
+	srv, err := server.New(server.Config{
+		Service:     svc,
+		Strategy:    "FP-MU",
+		TagUniverse: ds.Vocab.Size(),
+		Admission: incentivetag.AdmissionConfig{
+			Rate:        overloadBulkRate,
+			Burst:       overloadBurst,
+			MaxInFlight: overloadInflight,
+			Queue:       overloadQueue,
+			QueueWait:   overloadQueueWait,
+		},
+	})
+	if err != nil {
+		fail("overload server: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Pre-marshal a pool of bulk bodies so request construction never
+	// throttles the offered load.
+	rng := rand.New(rand.NewSource(seed + 77))
+	universe := ds.Vocab.Size()
+	bodies := make([][]byte, overloadBodyPool)
+	for b := range bodies {
+		events := make([]server.IngestEvent, overloadBatch)
+		for k := range events {
+			tags := make([]int32, 1+rng.Intn(3))
+			for t := range tags {
+				tags[t] = int32(rng.Intn(universe))
+			}
+			events[k] = server.IngestEvent{Resource: rng.Intn(overloadN), Tags: tags}
+		}
+		enc, err := json.Marshal(server.IngestRequest{Events: events})
+		if err != nil {
+			fail("overload body: %v", err)
+		}
+		bodies[b] = enc
+	}
+
+	hc := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}
+
+	rep := OverloadReport{
+		BulkRatePerSec:    overloadBulkRate,
+		MaxInFlight:       overloadInflight,
+		QueueWaitMillis:   overloadQueueWait.Milliseconds(),
+		PhaseMillis:       overloadPhaseTime.Milliseconds(),
+		InteractiveOffers: overloadInterRate,
+	}
+	for _, mult := range []float64{0.5, 1, 2} {
+		ph := runOverloadPhase(hc, ts.URL, overloadN, universe, bodies, mult)
+		if ph.ServerErrors > 0 {
+			fail("overload: %d server-side (5xx/transport) errors at %gx offered load — overload must degrade, not error", ph.ServerErrors, mult)
+		}
+		rep.Phases = append(rep.Phases, ph)
+		fmt.Fprintf(os.Stderr, "tagbench: overload %.1fx — bulk %d admitted / %d shed, interactive p50 %.0fµs p99 %.0fµs\n",
+			mult, ph.BulkAdmitted, ph.BulkShed, ph.InteractiveP50Micros, ph.InteractiveP99Micros)
+	}
+
+	twoX := rep.Phases[len(rep.Phases)-1]
+	if twoX.OfferedBulk > 0 {
+		rep.BulkShedFraction2x = float64(twoX.BulkShed) / float64(twoX.OfferedBulk)
+	}
+	if twoX.BulkShed == 0 {
+		fail("overload: 2x offered load shed no bulk — the token bucket is not limiting")
+	}
+	// The gated SLO ratio: higher is better, 1.0 = exactly the 5x bound.
+	// Both p99s clamp to a 1ms floor so sub-millisecond quantization
+	// noise cannot swing the ratio.
+	lowP99 := rep.Phases[0].InteractiveP99Micros
+	if lowP99 < latencyClampMicros {
+		lowP99 = latencyClampMicros
+	}
+	highP99 := twoX.InteractiveP99Micros
+	if highP99 < latencyClampMicros {
+		highP99 = latencyClampMicros
+	}
+	rep.InteractiveP99Headroom = 5 * lowP99 / highP99
+	return rep
+}

@@ -3,15 +3,26 @@
 // the way a crowd of networked workers would — concurrent batched
 // ingest, then a concurrent allocate/complete/expire swarm — and
 // reports end-to-end ingest posts/sec and allocations/sec.
+//
+// The client is a well-behaved citizen of an admission-controlled
+// server: a 429 is not an error but back-pressure. It honors the
+// server's Retry-After, layers jittered exponential backoff on top,
+// retries a bounded number of times, and reports what fraction of its
+// traffic was shed (and how many operations it ultimately dropped) in
+// the summary — so an overloaded run degrades gracefully instead of
+// dying on the first shed request.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,44 +58,186 @@ type httpSummary struct {
 	FinalUnderTaggedPct float64 `json:"final_under_tagged_pct"`
 	FinalWastedPosts    int     `json:"final_wasted_posts"`
 	LeasesOutstanding   int     `json:"leases_outstanding"`
+
+	// Admission is the client-side view of the server's load shedding:
+	// present whenever the run sent serving-route traffic.
+	Admission *admissionSummary `json:"admission,omitempty"`
 }
+
+// admissionSummary reports the back-pressure the run experienced.
+// Requests counts every HTTP request sent to a serving route (retries
+// included); ShedRate is Shed429/Requests; Dropped counts operations
+// abandoned after exhausting their retry budget.
+type admissionSummary struct {
+	Requests int64            `json:"requests"`
+	Shed429  int64            `json:"shed_429"`
+	Retries  int64            `json:"retries"`
+	Dropped  int64            `json:"dropped"`
+	ShedRate float64          `json:"shed_rate"`
+	PerRoute map[string]int64 `json:"per_route,omitempty"`
+}
+
+// Retry policy: bounded attempts, exponential floor, Retry-After
+// honored, ±50% jitter, hard cap per wait.
+const (
+	maxAttempts  = 5
+	retryBase    = 50 * time.Millisecond
+	retryWaitCap = 5 * time.Second
+)
+
+// errDropped marks an operation shed on every attempt; callers count
+// it and move on instead of aborting the run.
+var errDropped = errors.New("shed by admission control on every retry")
 
 type httpClient struct {
 	base string
 	hc   *http.Client
+
+	requests atomic.Int64 // serving-route requests sent, retries included
+	shed     atomic.Int64 // 429 responses received
+	retries  atomic.Int64
+	dropped  atomic.Int64
+
+	mu       sync.Mutex
+	perRoute map[string]int64
+}
+
+func newHTTPClient(base string) *httpClient {
+	return &httpClient{
+		base:     base,
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		perRoute: make(map[string]int64),
+	}
+}
+
+// servingRoute returns the admission-controlled route for a request
+// path ("" for ops endpoints, which are neither counted nor retried).
+func servingRoute(path string) string {
+	route := path
+	if i := strings.IndexByte(route, '?'); i >= 0 {
+		route = route[:i]
+	}
+	switch route {
+	case "/ingest", "/allocate", "/complete", "/expire", "/topk", "/search":
+		return route
+	}
+	return ""
+}
+
+// count records one request sent to a serving route.
+func (c *httpClient) count(route string) {
+	c.requests.Add(1)
+	c.mu.Lock()
+	c.perRoute[route]++
+	c.mu.Unlock()
+}
+
+// backoff computes the wait before retry attempt (0-based): the larger
+// of the server's Retry-After and the exponential floor, jittered by
+// ±50% so a shed swarm does not retry in lockstep, capped.
+func backoff(retryAfter string, attempt int) time.Duration {
+	wait := retryBase << uint(attempt)
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > wait {
+			wait = ra
+		}
+	}
+	if wait > retryWaitCap {
+		wait = retryWaitCap
+	}
+	return time.Duration(float64(wait) * (0.5 + rand.Float64()))
+}
+
+// doJSON issues one request (POST when body is non-nil, GET otherwise)
+// with admission-aware retry on serving routes: a 429 is back-pressure,
+// not failure — wait out the server's Retry-After (plus jitter) and try
+// again, up to maxAttempts; errDropped after that.
+func (c *httpClient) doJSON(path string, body, out any) error {
+	var enc []byte
+	if body != nil {
+		var err error
+		if enc, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	route := servingRoute(path)
+	attempts := maxAttempts
+	if route == "" {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if route != "" {
+			c.count(route)
+		}
+		var resp *http.Response
+		var err error
+		if body != nil {
+			resp, err = c.hc.Post(c.base+path, "application/json", bytes.NewReader(enc))
+		} else {
+			resp, err = c.hc.Get(c.base + path)
+		}
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && route != "" {
+			retryAfter := resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			c.shed.Add(1)
+			if attempt == attempts-1 {
+				break
+			}
+			c.retries.Add(1)
+			time.Sleep(backoff(retryAfter, attempt))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e server.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, e.Error)
+		}
+		if out != nil {
+			err = json.NewDecoder(resp.Body).Decode(out)
+		}
+		resp.Body.Close()
+		return err
+	}
+	c.dropped.Add(1)
+	return fmt.Errorf("%s: %w", path, errDropped)
 }
 
 func (c *httpClient) post(path string, body, out any) error {
-	enc, err := json.Marshal(body)
-	if err != nil {
-		return err
+	if body == nil {
+		body = struct{}{}
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(enc))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e server.ErrorResponse
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, e.Error)
-	}
-	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	return nil
+	return c.doJSON(path, body, out)
 }
 
 func (c *httpClient) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return err
+	return c.doJSON(path, nil, out)
+}
+
+// admissionSnapshot builds the summary block (nil if the run never
+// touched a serving route).
+func (c *httpClient) admissionSnapshot() *admissionSummary {
+	reqs := c.requests.Load()
+	if reqs == 0 {
+		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	c.mu.Lock()
+	per := make(map[string]int64, len(c.perRoute))
+	for k, v := range c.perRoute {
+		per[k] = v
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	c.mu.Unlock()
+	return &admissionSummary{
+		Requests: reqs,
+		Shed429:  c.shed.Load(),
+		Retries:  c.retries.Load(),
+		Dropped:  c.dropped.Load(),
+		ShedRate: float64(c.shed.Load()) / float64(reqs),
+		PerRoute: per,
+	}
 }
 
 // randomPost synthesizes a 1–3 tag worker post over the advertised tag
@@ -128,7 +281,7 @@ func (c *httpClient) awaitReady(timeout time.Duration) error {
 // whole organic phase (the mixed read/write workload); expireFrac in
 // [0,1) the fraction of leases abandoned instead of fulfilled.
 func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFrac float64, seed int64) {
-	c := &httpClient{base: url, hc: &http.Client{Timeout: 30 * time.Second}}
+	c := newHTTPClient(url)
 	if err := c.awaitReady(60 * time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
@@ -179,6 +332,9 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 						}
 						err = c.get(path+"&k=10", &sr)
 					}
+					if errors.Is(err, errDropped) {
+						continue // shed: counted in the admission summary
+					}
 					if err != nil {
 						failed(err)
 					}
@@ -218,6 +374,9 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 						r = (r + workers) % info.N
 					}
 					if err := c.post("/ingest", server.IngestRequest{Events: buf}, nil); err != nil {
+						if errors.Is(err, errDropped) {
+							continue // batch shed: the summary reports the drop
+						}
 						failed(err)
 					}
 					ingested.Add(int64(len(buf)))
@@ -259,6 +418,9 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 					}
 					var al server.AllocateResponse
 					if err := c.post("/allocate", server.AllocateRequest{}, &al); err != nil {
+						if errors.Is(err, errDropped) {
+							continue // allocation shed: the task slot is forfeited
+						}
 						failed(err)
 					}
 					if !al.OK {
@@ -266,6 +428,9 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 					}
 					if rng.Float64() < expireFrac {
 						if err := c.post("/expire", server.ExpireRequest{Lease: al.Lease}, nil); err != nil {
+							if errors.Is(err, errDropped) {
+								continue // lease left to the server's expiry sweep
+							}
 							failed(err)
 						}
 						expired.Add(1)
@@ -275,6 +440,9 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 					if err := c.post("/complete", server.CompleteRequest{
 						Lease: al.Lease, Tags: randomPost(rng, info.TagUniverse),
 					}, nil); err != nil {
+						if errors.Is(err, errDropped) {
+							continue // lease left outstanding; reported below
+						}
 						failed(err)
 					}
 					fulfilled.Add(1)
@@ -299,6 +467,11 @@ func runHTTPLoad(url string, workers, batch, posts, budget, query int, expireFra
 	out.FinalUnderTaggedPct = m.UnderTaggedPct
 	out.FinalWastedPosts = m.WastedPosts
 	out.LeasesOutstanding = m.LeasesOutstanding
+	out.Admission = c.admissionSnapshot()
+	if ad := out.Admission; ad != nil && ad.Shed429 > 0 {
+		fmt.Fprintf(os.Stderr, "tagserve: server shed %.1f%% of %d requests (%d retries, %d ops dropped)\n",
+			100*ad.ShedRate, ad.Requests, ad.Retries, ad.Dropped)
+	}
 
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

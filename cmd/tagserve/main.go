@@ -17,7 +17,11 @@
 // running tagserved (see httpload.go): concurrent batched /ingest
 // traffic, then a concurrent /allocate → /complete (or /expire) swarm,
 // reporting posts/sec and allocations/sec plus the server's final
-// /metrics snapshot. Without -url it drives an in-process Service:
+// /metrics snapshot. Against an admission-controlled server the client
+// backs off on 429 (honoring Retry-After with jittered exponential
+// retry) and the summary gains an "admission" block reporting the shed
+// rate and per-route request counts. Without -url it drives an
+// in-process Service:
 //
 // -query N runs the mixed read/write workload: N query goroutines
 // alternate top-k similar-resource queries and tag-set searches against

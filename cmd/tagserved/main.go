@@ -8,6 +8,20 @@
 //	tagserved [-addr :8377] [-n 1000] [-seed 1] [-data DIR]
 //	          [-shards 0] [-strategy FP-MU] [-budget 0] [-wal DIR]
 //	          [-snap-interval 30s] [-snap-every 0]
+//	          [-rate 0] [-burst 0] [-max-inflight 0] [-queue 0]
+//	          [-queue-wait 250ms] [-max-body 8388608]
+//
+// The admission flags make overload a deliberate policy instead of an
+// accident: -rate/-burst token-bucket the crowd's bulk ingest (shed
+// with 429 + Retry-After when the bucket runs dry), -max-inflight
+// bounds concurrently served requests across all routes, and -queue/
+// -queue-wait give interactive requests (allocate, complete, expire,
+// topk, search) a small bounded wait for a slot before they too are
+// shed. The defaults (0) disable both limits. -max-body caps request
+// bodies (413 beyond it). GET /metrics/prom exposes the admission
+// counters, queue gauges and per-route latency quantiles in Prometheus
+// text format. Limits are per process: a fleet behind a balancer
+// multiplies them by the replica count.
 //
 // With -wal the service is durable: every acknowledged post is
 // group-committed to a segmented log before it mutates engine state, a
@@ -56,11 +70,25 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the durable post log + snapshots (empty = no durability)")
 	snapInterval := flag.Duration("snap-interval", 30*time.Second, "background snapshot interval (negative disables)")
 	snapEvery := flag.Int("snap-every", 0, "also snapshot every this many logged posts (0 = interval only)")
+	rate := flag.Float64("rate", 0, "bulk ingest admission rate in requests/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "bulk token-bucket burst (0 = one second's worth)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently served requests across all routes (0 = unlimited)")
+	queue := flag.Int("queue", 0, "interactive wait-queue capacity (0 = default, negative = none)")
+	queueWait := flag.Duration("queue-wait", 0, "max time a queued interactive request waits for a slot (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
 	flag.Parse()
 
 	srv, err := server.NewDeferred(server.Config{
 		Strategy: *stratName,
 		Budget:   *budget,
+		Admission: incentivetag.AdmissionConfig{
+			Rate:        *rate,
+			Burst:       *burst,
+			MaxInFlight: *maxInflight,
+			Queue:       *queue,
+			QueueWait:   *queueWait,
+		},
+		MaxBodyBytes: *maxBody,
 	})
 	if err != nil {
 		fail("server: %v", err)

@@ -120,6 +120,27 @@
 // candidates scored, cache hits/misses/entries) surface through
 // QueryStats and GET /info.
 //
+// # Operating under load
+//
+// The HTTP front-end (internal/server, cmd/tagserved) carries an
+// SLO-aware admission layer (internal/admit, configured through
+// AdmissionConfig): a token bucket paces bulk /ingest traffic and a
+// concurrency limiter caps simultaneous in-flight work, with a bounded
+// FIFO wait reserved for interactive routes (/allocate, /complete,
+// /expire, /topk, /search). Past capacity the server sheds bulk first
+// — 429 with a Retry-After computed from the bucket's actual refill
+// schedule, never a 5xx — so interactive latency stays bounded while
+// overload lasts. GET /metrics/prom exposes the admission picture in
+// Prometheus text format (per-route/class outcome counters that sum
+// exactly to offered load, log-bucketed latency histograms with
+// p50/p90/p99 gauges, in-flight and queue-depth gauges) with no client
+// library; GET /healthz distinguishes recovering, overloaded, and
+// draining from serving; shutdown stops admitting before it waits for
+// in-flight work. Limits are per-process — behind a load balancer,
+// size the rate per replica. The zero AdmissionConfig disables
+// limiting entirely. AdmissionStats exposes the same counters
+// programmatically.
+//
 // # Quick start
 //
 //	ds, _ := incentivetag.Generate(incentivetag.DefaultConfig(500, 1))

@@ -1,0 +1,109 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // <= 1µs
+		{time.Microsecond + time.Nanosecond, 1}, // (1µs, 2µs]
+		{2 * time.Microsecond, 1},               // boundary is inclusive
+		{3 * time.Microsecond, 2},               // (2µs, 4µs]
+		{1024 * time.Microsecond, 10},           // exactly 2^10 µs
+		{1025 * time.Microsecond, 11},           //
+		{time.Hour, HistBuckets},                // overflow
+	}
+	for _, tc := range cases {
+		if got := bucketFor(tc.d); got != tc.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", q)
+	}
+	// 99 fast samples (~100µs) and one slow (~50ms): p50 in the fast
+	// bucket, p99 must not hide the tail's bucket bound.
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(50 * time.Millisecond)
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count %d, want 100", n)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 > BucketBound(bucketFor(100*time.Microsecond)) {
+		t.Fatalf("p50 = %v, above the fast bucket bound", p50)
+	}
+	p99 := h.Quantile(0.99)
+	// 99 of 100 samples are fast, so p99 lands on the 99th sample: the
+	// fast bucket. p100 (via 0.999 → target 100) must surface the tail.
+	if p99 > BucketBound(bucketFor(100*time.Microsecond)) {
+		t.Fatalf("p99 = %v, above the fast bucket bound", p99)
+	}
+	tail := h.Quantile(0.999)
+	if want := BucketBound(bucketFor(50 * time.Millisecond)); tail != want {
+		t.Fatalf("tail quantile = %v, want %v", tail, want)
+	}
+	// The quantile is an upper bound: never below the true value's
+	// bucket lower edge.
+	if tail < 50e-3 {
+		t.Fatalf("tail quantile %v under-reports the 50ms sample", tail)
+	}
+}
+
+func TestHistogramCumulativeAndSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Second)
+	var buf [HistBuckets + 1]uint64
+	total := h.Cumulative(&buf)
+	if total != 3 {
+		t.Fatalf("total %d, want 3", total)
+	}
+	if buf[0] != 1 || buf[1] != 1 || buf[2] != 2 {
+		t.Fatalf("cumulative prefix %v", buf[:3])
+	}
+	if buf[HistBuckets] != 3 {
+		t.Fatalf("+Inf bucket %d, want 3", buf[HistBuckets])
+	}
+	for i := 1; i <= HistBuckets; i++ {
+		if buf[i] < buf[i-1] {
+			t.Fatalf("cumulative counts decrease at bucket %d", i)
+		}
+	}
+	if got, want := h.Sum(), 1.000004; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := h.Count(); n != workers*per {
+		t.Fatalf("count %d, want %d", n, workers*per)
+	}
+}

@@ -9,6 +9,7 @@
 //	POST /expire          abandon a lease, re-arming its resource
 //	POST /admin/snapshot  force a snapshot/compaction cycle now
 //	GET  /metrics         O(1) aggregate metric snapshot + lease census
+//	GET  /metrics/prom    Prometheus text exposition: admission + latency
 //	GET  /topk            top-k similar resources from the live online index
 //	GET  /search          query-by-tag-set retrieval over live rfd state
 //	GET  /info            corpus/strategy/query-index facts + recovery stats
@@ -26,6 +27,21 @@
 // accept health probes during a long WAL replay without ever exposing
 // half-recovered state.
 //
+// Overload is a first-class state, not an accident: every serving
+// route passes through an admission gate (internal/admit) that
+// token-buckets the crowd's bulk ingest and bounds total concurrency.
+// When the server saturates, bulk is shed first with 429 + Retry-After
+// derived from the bucket's refill; interactive requests (allocate,
+// complete, expire, topk, search) get a small bounded queue wait before
+// being shed, so operator-facing latency degrades last. /healthz
+// reports saturation (503 + reason) so load balancers can route away,
+// and Shutdown stops admitting before it waits for in-flight drains —
+// a request arriving mid-drain gets a fast 503, never a hung socket.
+// GET /metrics/prom exposes the whole story — per-route outcome
+// counters, log-bucketed latency histograms with p50/p90/p99, queue
+// depth and in-flight gauges — in Prometheus text format with no
+// external dependencies.
+//
 // The server tracks the incentive budget: /allocate reserves the
 // task's reward-unit cost when the lease is handed out (so concurrent
 // clients can never collectively over-commit the budget), /complete
@@ -37,6 +53,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -49,11 +66,12 @@ import (
 	"time"
 
 	incentivetag "incentivetag"
+	"incentivetag/internal/admit"
 )
 
-// maxBody bounds request bodies; a batch of a few thousand posts fits
-// comfortably.
-const maxBody = 8 << 20
+// DefaultMaxBody bounds request bodies when Config.MaxBodyBytes is 0;
+// a batch of a few thousand posts fits comfortably.
+const DefaultMaxBody = 8 << 20
 
 // Config assembles a Server.
 type Config struct {
@@ -76,6 +94,17 @@ type Config struct {
 	// restarts should set Budget to what remains (total minus the spend
 	// it has accounted externally) when relaunching.
 	Budget int
+
+	// Admission configures overload control: the bulk token bucket, the
+	// shared concurrency limit and the bounded interactive wait queue.
+	// The zero value admits everything (no rate limit, no concurrency
+	// limit) while still tracking counters and gauges, so existing
+	// deployments see no behavior change until they opt in.
+	Admission admit.Config
+
+	// MaxBodyBytes caps request bodies; oversized posts get a distinct
+	// 413 instead of a generic decode error. 0 selects DefaultMaxBody.
+	MaxBodyBytes int64
 
 	// ReadTimeout, WriteTimeout and IdleTimeout bound each connection's
 	// full-request read, response write and keep-alive idle time, so a
@@ -114,7 +143,7 @@ func timeoutOr(v, def time.Duration) time.Duration {
 func (s *Server) httpServer(addr string) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           s.mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       timeoutOr(s.cfg.ReadTimeout, DefaultReadTimeout),
 		WriteTimeout:      timeoutOr(s.cfg.WriteTimeout, DefaultWriteTimeout),
@@ -129,6 +158,15 @@ func (s *Server) httpServer(addr string) *http.Server {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+
+	// Admission state: the gate every serving route passes through, the
+	// per-route instrumentation behind /metrics/prom, the drain flag that
+	// Shutdown raises before waiting, and the resolved body cap.
+	ctl          *admit.Controller
+	insts        []*routeInst
+	draining     atomic.Bool
+	bodyTooLarge atomic.Uint64
+	maxBody      int64
 
 	// svc is the installed service; nil until Install (or New, which
 	// installs immediately). Handlers load it atomically: a nil load is
@@ -174,18 +212,32 @@ func NewDeferred(cfg Config) (*Server, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("server: negative budget %d", cfg.Budget)
 	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("server: negative max body bytes %d", cfg.MaxBodyBytes)
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	if cfg.Service != nil {
 		return nil, fmt.Errorf("server: NewDeferred with a Service; use New")
 	}
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /allocate", s.handleAllocate)
-	s.mux.HandleFunc("POST /complete", s.handleComplete)
-	s.mux.HandleFunc("POST /expire", s.handleExpire)
+	s.ctl = admit.NewController(cfg.Admission)
+	s.maxBody = cfg.MaxBodyBytes
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBody
+	}
+	// Serving routes pass through the admission gate: ingest is the
+	// crowd's bulk class (shed first), the operator loop and queries are
+	// interactive (bounded wait, shed last). Ops endpoints — health,
+	// metrics, info, admin — bypass admission: they must answer precisely
+	// when the server is overloaded.
+	s.mux.HandleFunc("POST /ingest", s.instrument("/ingest", admit.Bulk, s.handleIngest))
+	s.mux.HandleFunc("POST /allocate", s.instrument("/allocate", admit.Interactive, s.handleAllocate))
+	s.mux.HandleFunc("POST /complete", s.instrument("/complete", admit.Interactive, s.handleComplete))
+	s.mux.HandleFunc("POST /expire", s.instrument("/expire", admit.Interactive, s.handleExpire))
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /topk", s.handleTopK)
-	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /metrics/prom", s.handlePromMetrics)
+	s.mux.HandleFunc("GET /topk", s.instrument("/topk", admit.Interactive, s.handleTopK))
+	s.mux.HandleFunc("GET /search", s.instrument("/search", admit.Interactive, s.handleSearch))
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
@@ -223,8 +275,20 @@ func (s *Server) service(w http.ResponseWriter) *incentivetag.Service {
 // Ready reports whether the service has been installed.
 func (s *Server) Ready() bool { return s.svc.Load() != nil }
 
-// Handler returns the route table as an http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the route table as an http.Handler, wrapped in the
+// drain gate: once Shutdown begins, every request except /healthz gets
+// an immediate 503 — no new work starts while in-flight requests
+// finish, and a probe can still see the draining state.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // ListenAndServe serves on addr until Shutdown (which returns
 // http.ErrServerClosed here) or a listener error.
@@ -254,11 +318,15 @@ func (s *Server) Serve(l net.Listener) error {
 	return hs.Serve(l)
 }
 
-// Shutdown gracefully stops the HTTP server: in-flight requests finish
-// (bounded by ctx), new connections are refused. The Service itself is
-// not closed — the owner closes it after Shutdown returns, which is
-// what makes the WAL flush strictly after the last request's write.
+// Shutdown gracefully stops the HTTP server: the drain gate closes
+// FIRST (new requests on still-open keep-alive connections get a fast
+// 503 instead of starting work that races the WAL close), then
+// in-flight requests finish (bounded by ctx) and new connections are
+// refused. The Service itself is not closed — the owner closes it after
+// Shutdown returns, which is what makes the WAL flush strictly after
+// the last request's write.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	hs := s.hs
 	s.mu.Unlock()
@@ -267,6 +335,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	return hs.Shutdown(ctx)
 }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // AllocatedSpent returns the reward units consumed by fulfilled tasks.
 func (s *Server) AllocatedSpent() int {
@@ -393,9 +464,16 @@ type InfoResponse struct {
 	Queries incentivetag.QueryStats `json:"queries"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz. Ready distinguishes "recovery
+// still running" from the serving states; Overloaded is set (with a
+// 503) when the interactive wait queue is saturated — the server is
+// actively shedding interactive work, so a balancer should route away
+// even though the process is alive. Reason says which degraded state
+// produced a 503.
 type HealthResponse struct {
-	Ready bool `json:"ready"`
+	Ready      bool   `json:"ready"`
+	Overloaded bool   `json:"overloaded,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // ErrorResponse carries a client- or server-side failure.
@@ -417,10 +495,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // readJSON decodes the request body strictly (unknown fields rejected —
 // they are almost always a client schema bug worth failing loudly on).
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+// Bodies over the configured cap get a distinct 413 so clients can tell
+// "split your batch" apart from "fix your schema".
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.bodyTooLarge.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes; split the batch", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -442,7 +529,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	single := len(req.Tags) > 0
@@ -499,7 +586,7 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req AllocateRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	// Check, lease and reserve in one critical section: the budget can
@@ -554,7 +641,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CompleteRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	p, err := post(req.Tags)
@@ -597,7 +684,7 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ExpireRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	// As in /complete: capture the cost while the lease is alive, and
@@ -767,9 +854,20 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// The one endpoint that answers before Install: the readiness gate
-	// restart scripts and load generators wait on.
+	// restart scripts and load generators wait on. Three 503 states,
+	// each with its reason: recovering, draining, overloaded.
 	if s.svc.Load() == nil {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Ready: false})
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Ready: false, Reason: "recovering"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Ready: true, Reason: "draining"})
+		return
+	}
+	if s.ctl.Saturated() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{
+			Ready: true, Overloaded: true, Reason: "interactive queue saturated",
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{Ready: true})
