@@ -426,6 +426,16 @@ type ServiceOptions struct {
 	// Resources restricts the service to the first n corpus resources
 	// (0 = all).
 	Resources int
+	// Owned, when non-nil, marks this service as one node of a sharded
+	// cluster: it admits exactly the resources this node owns under the
+	// cluster's placement ring. The incentive allocator is masked to
+	// owned resources (a node never hands out a task whose completion
+	// would land a live post on a resource another node owns), and the
+	// cluster query surface (RFD/TopKWeighted/SearchOwned) scores only
+	// owned resources. Ingest is NOT filtered here — the HTTP layer
+	// rejects misdirected posts loudly instead (421) so a routing bug
+	// can never silently split a resource's live state across nodes.
+	Owned func(resource int) bool
 }
 
 // DefaultSnapshotInterval is the background snapshotter's default time
@@ -468,6 +478,10 @@ type Service struct {
 	// index epoch: any ingest bumps the epoch and expires every entry,
 	// so a hit is always bit-identical to re-running the query.
 	cache *resultCache
+
+	// owned is the cluster-membership predicate (nil outside a cluster:
+	// every resource is local).
+	owned func(int) bool
 
 	recovery RecoveryStats // boot-time recovery facts, immutable
 
@@ -578,14 +592,23 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		}
 		return nil, err
 	}
+	// In a cluster, the allocator must only ever CHOOSE owned resources:
+	// completing a lease ingests the worker's post on THIS node, and the
+	// partition invariant — every live post lives on its resource's
+	// owner — is what makes scatter-gather queries exact.
+	env := strategy.Env(engine.NewView(eng, opts.Seed))
+	if opts.Owned != nil {
+		env = strategy.Masked(env, opts.Owned)
+	}
 	s := &Service{
 		eng:         eng,
 		wal:         wal,
-		alloc:       alloc.New(strat, engine.NewView(eng, opts.Seed), eng),
+		alloc:       alloc.New(strat, env, eng),
 		walDir:      opts.WALDir,
 		keep:        opts.KeepSnapshots,
 		recovery:    rec,
 		lastSnapSeq: rec.SnapshotSeq,
+		owned:       opts.Owned,
 	}
 	// Seed the live query index from the engine state — which, on the
 	// durable path, is the recovered state (snapshot + WAL tail already
@@ -837,6 +860,61 @@ func (s *Service) Search(query Post, k int) ([]Scored, uint64, error) {
 		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
 	}
 	res, epoch := s.idx.Search(query, k)
+	return res, epoch, nil
+}
+
+// WeightedTag is one (tag, count) component of an integer-weighted
+// query vector — the wire form of a resource's rfd in cluster
+// scatter-gather queries.
+type WeightedTag = ir.WeightedTag
+
+// OwnsResource reports whether this service owns the resource under its
+// cluster placement (always true outside a cluster).
+func (s *Service) OwnsResource(resource int) bool {
+	return s.owned == nil || s.owned(resource)
+}
+
+// RFD exports a resource's live count vector (ascending tag order), its
+// exact squared norm and the epoch of the consistent view it was read
+// under. A cluster gateway calls this on the subject's owner node and
+// ships the result to every node as a TopKWeighted query. Integer
+// counts and norms transfer exactly through JSON float64s, which is
+// what keeps the distributed scores bit-identical.
+func (s *Service) RFD(resource int) ([]WeightedTag, float64, uint64, error) {
+	if n := s.eng.N(); resource < 0 || resource >= n {
+		return nil, 0, 0, fmt.Errorf("incentivetag: resource index %d out of range [0,%d)", resource, n)
+	}
+	entries, norm2, _, epoch := s.idx.RFDEntries(resource)
+	return entries, norm2, epoch, nil
+}
+
+// TopKWeighted ranks this node's OWNED resources against an explicit
+// integer-weighted query vector (a subject's counts fetched from its
+// owner node via RFD), excluding resource `exclude` (negative = none).
+// Per-node answers merged under the (score desc, id asc) comparator are
+// bit-identical to a single-node TopK over the union state — see
+// internal/ir/cluster.go for the exactness argument.
+func (s *Service) TopKWeighted(query []WeightedTag, qNorm2 float64, exclude, k int) ([]Scored, uint64, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
+	}
+	if qNorm2 < 0 {
+		return nil, 0, fmt.Errorf("incentivetag: negative query norm %g", qNorm2)
+	}
+	res, epoch := s.idx.TopKWeighted(query, qNorm2, exclude, k, s.owned)
+	return res, epoch, nil
+}
+
+// SearchOwned is Search restricted to this node's owned resources — the
+// node-side half of a scatter-gather /search.
+func (s *Service) SearchOwned(query Post, k int) ([]Scored, uint64, error) {
+	if len(query) == 0 {
+		return nil, 0, fmt.Errorf("incentivetag: empty search query")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("incentivetag: k must be positive, got %d", k)
+	}
+	res, epoch := s.idx.SearchOwned(query, k, s.owned)
 	return res, epoch, nil
 }
 

@@ -105,7 +105,10 @@ func main() {
 	}
 	sort.Strings(keys)
 
-	failures := 0
+	// Each failure is recorded as a named-metric diff so a red CI run is
+	// diagnosable from the log alone: which metric, what it measured,
+	// what the baseline was and where the floor sat.
+	var failures []string
 	for _, key := range keys {
 		want := base.Ratios[key]
 		floor := want * base.Tolerance
@@ -114,16 +117,22 @@ func main() {
 		switch {
 		case !ok:
 			status = "MISSING"
-			failures++
+			failures = append(failures,
+				fmt.Sprintf("%s: missing from report (baseline %.3f — was the suite renamed or skipped?)", key, want))
 		case got < floor:
 			status = "REGRESSED"
-			failures++
+			failures = append(failures,
+				fmt.Sprintf("%s: current %.3f < floor %.3f (baseline %.3f × tolerance %.2f; %.0f%% of baseline)",
+					key, got, floor, want, base.Tolerance, 100*got/want))
 		}
 		fmt.Printf("benchgate: %-42s baseline %8.3f  floor %8.3f  current %8.3f  %s\n",
 			key, want, floor, got, status)
 	}
-	if failures > 0 {
-		fail("%d of %d gated ratios regressed past %.0f%% of baseline", failures, len(keys), 100*base.Tolerance)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", f)
+		}
+		fail("%d of %d gated metrics failed", len(failures), len(keys))
 	}
 	fmt.Printf("benchgate: all %d ratios within tolerance\n", len(keys))
 }

@@ -1,0 +1,301 @@
+// Cluster benchmark: stand up an in-process 3-node cluster behind a
+// taggate gateway and measure the scatter-gather tax on the read path.
+// Before any timing, the suite runs a checked pass: every sampled
+// subject's merged gateway /topk must be bit-identical (same ids, same
+// float64 score bits) to a single-node engine that absorbed the same
+// post stream — the correctness property the whole cluster layer rests
+// on. Timing then compares closed-loop /topk throughput through the
+// gateway (1 RFD fetch + N-way scatter + merge per query) against the
+// same queries served by the single node directly over HTTP, so both
+// sides pay the HTTP round-trip and only the fan-out is measured.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"incentivetag"
+	"incentivetag/internal/admit"
+	"incentivetag/internal/cluster"
+	"incentivetag/internal/server"
+)
+
+// Cluster scenario shape: big enough that per-query work dominates
+// connection setup, small enough to boot four engines quickly.
+const (
+	clusterBenchN        = 1200
+	clusterBenchNodes    = 3
+	clusterBenchEvents   = 2000 // posts streamed through the gateway before checking
+	clusterBenchK        = 10
+	clusterCheckSample   = 80 // subjects compared bit-for-bit before timing
+	clusterMeasureTime   = 800 * time.Millisecond
+	clusterWarmupQueries = 32
+)
+
+// ClusterReport captures the scatter-gather suite. ScatterOverhead is
+// the gated ratio: gateway /topk throughput over single-node /topk
+// throughput (both over HTTP, same corpus, same queries). It is < 1 by
+// construction — a distributed query costs 1 subject-vector fetch plus
+// an N-way scatter — and the gate exists to catch the fan-out path
+// getting disproportionately slower, not to pretend distribution is
+// free.
+type ClusterReport struct {
+	Nodes           int   `json:"nodes"`
+	VNodes          int   `json:"vnodes"`
+	N               int   `json:"n"`
+	EventsStreamed  int   `json:"events_streamed"`
+	CheckedSubjects int   `json:"checked_subjects"`
+	MeasureMillis   int64 `json:"measure_ms"`
+
+	SingleTopKPerSec  float64 `json:"single_topk_per_sec"`
+	GatewayTopKPerSec float64 `json:"gateway_topk_per_sec"`
+	ScatterOverhead   float64 `json:"scatter_overhead"`
+}
+
+// benchNode is one in-process cluster member.
+type benchNode struct {
+	svc *incentivetag.Service
+	ts  *httptest.Server
+}
+
+// startBenchNode boots one member on a fixed pre-picked address: a
+// service primed over the shared corpus that owns only its ring slice.
+func startBenchNode(m *cluster.Map, name, addr string, seed int64) (*benchNode, error) {
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(clusterBenchN, seed))
+	if err != nil {
+		return nil, err
+	}
+	owned, err := m.OwnedBy(name)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
+		Strategy: "FP-MU",
+		Seed:     seed,
+		Owned:    owned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Service:      svc,
+		Strategy:     "FP-MU",
+		TagUniverse:  ds.Vocab.Size(),
+		ShardMapHash: m.Hash(),
+	})
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	return &benchNode{svc: svc, ts: ts}, nil
+}
+
+// postJSON sends one request and fails the bench on any non-200.
+func postJSON(hc *http.Client, url string, body []byte, what string) {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail("cluster %s: %v", what, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		fail("cluster %s: status %d: %s", what, resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// getTopK fetches and decodes one /topk answer (gateway and node wire
+// shapes are supersets of this).
+func getTopK(hc *http.Client, base string, resource, k int) cluster.TopKResponse {
+	resp, err := hc.Get(fmt.Sprintf("%s/topk?resource=%d&k=%d", base, resource, k))
+	if err != nil {
+		fail("cluster topk: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		fail("cluster topk: status %d: %s", resp.StatusCode, msg)
+	}
+	var out cluster.TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fail("cluster topk decode: %v", err)
+	}
+	return out
+}
+
+// timeTopK runs closed-loop /topk queries round-robin over subjects
+// for the measure window and returns queries/sec.
+func timeTopK(hc *http.Client, base string, subjects []int) float64 {
+	for i := 0; i < clusterWarmupQueries; i++ {
+		getTopK(hc, base, subjects[i%len(subjects)], clusterBenchK)
+	}
+	done := 0
+	t0 := time.Now()
+	for time.Since(t0) < clusterMeasureTime {
+		getTopK(hc, base, subjects[done%len(subjects)], clusterBenchK)
+		done++
+	}
+	return float64(done) / time.Since(t0).Seconds()
+}
+
+// runClusterBenchmark boots the cluster, proves gateway/single-node
+// bit-identity over a streamed corpus, then measures the fan-out tax.
+func runClusterBenchmark(seed int64) ClusterReport {
+	m := &cluster.Map{VNodes: cluster.DefaultVNodes}
+	addrs := make([]string, clusterBenchNodes)
+	for i := 0; i < clusterBenchNodes; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail("cluster listen: %v", err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+		m.Nodes = append(m.Nodes, cluster.Node{
+			Name: fmt.Sprintf("bench%d", i),
+			URL:  "http://" + addrs[i],
+		})
+	}
+
+	nodes := make([]*benchNode, clusterBenchNodes)
+	for i, n := range m.Nodes {
+		nd, err := startBenchNode(m, n.Name, addrs[i], seed)
+		if err != nil {
+			fail("cluster node %s: %v", n.Name, err)
+		}
+		defer nd.svc.Close()
+		defer nd.ts.Close()
+		nodes[i] = nd
+	}
+
+	// The single-node comparator: same corpus, same seed, no ownership
+	// mask, served over HTTP so both sides pay the same transport.
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(clusterBenchN, seed))
+	if err != nil {
+		fail("cluster corpus: %v", err)
+	}
+	single, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{Strategy: "FP-MU", Seed: seed})
+	if err != nil {
+		fail("cluster single: %v", err)
+	}
+	defer single.Close()
+	ssrv, err := server.New(server.Config{Service: single, Strategy: "FP-MU", TagUniverse: ds.Vocab.Size()})
+	if err != nil {
+		fail("cluster single server: %v", err)
+	}
+	sts := httptest.NewServer(ssrv.Handler())
+	defer sts.Close()
+
+	gw, err := cluster.New(cluster.Config{
+		Map:           m,
+		Admission:     admit.Config{},
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		fail("cluster gateway: %v", err)
+	}
+	gw.Start()
+	defer gw.Stop()
+	waitCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gw.WaitReady(waitCtx); err != nil {
+		fail("cluster not ready: %v", err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	hc := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 64},
+	}
+
+	// Stream an identical post mix through the gateway and into the
+	// single node: singles and small batches, arbitrary owners.
+	rng := rand.New(rand.NewSource(seed + 911))
+	universe := ds.Vocab.Size()
+	streamed := 0
+	for streamed < clusterBenchEvents {
+		var req server.IngestRequest
+		if rng.Intn(3) == 0 {
+			req.Resource = rng.Intn(clusterBenchN)
+			req.Tags = []int32{int32(rng.Intn(universe))}
+			streamed++
+		} else {
+			nEv := 1 + rng.Intn(8)
+			for e := 0; e < nEv; e++ {
+				tags := make([]int32, 1+rng.Intn(3))
+				for t := range tags {
+					tags[t] = int32(rng.Intn(universe))
+				}
+				req.Events = append(req.Events, server.IngestEvent{Resource: rng.Intn(clusterBenchN), Tags: tags})
+			}
+			streamed += nEv
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fail("cluster ingest body: %v", err)
+		}
+		postJSON(hc, gts.URL+"/ingest", body, "gateway ingest")
+		postJSON(hc, sts.URL+"/ingest", body, "single ingest")
+	}
+
+	// Checked pass: the property the paper-scale numbers depend on.
+	subjects := make([]int, clusterCheckSample)
+	for i := range subjects {
+		subjects[i] = rng.Intn(clusterBenchN)
+		got := getTopK(hc, gts.URL, subjects[i], clusterBenchK)
+		want := getTopK(hc, sts.URL, subjects[i], clusterBenchK)
+		if got.Partial {
+			fail("cluster check: partial result with all nodes up (subject %d)", subjects[i])
+		}
+		if len(got.Epochs) != clusterBenchNodes {
+			fail("cluster check: %d per-node epochs, want %d", len(got.Epochs), clusterBenchNodes)
+		}
+		if len(got.Top) != len(want.Top) {
+			fail("cluster check: subject %d: %d merged entries vs %d single-node", subjects[i], len(got.Top), len(want.Top))
+		}
+		for j := range got.Top {
+			if got.Top[j].Resource != want.Top[j].Resource ||
+				math.Float64bits(got.Top[j].Score) != math.Float64bits(want.Top[j].Score) {
+				fail("cluster check: subject %d rank %d: gateway (%d, %x) vs single (%d, %x) — merged top-k is not bit-identical",
+					subjects[i], j, got.Top[j].Resource, math.Float64bits(got.Top[j].Score),
+					want.Top[j].Resource, math.Float64bits(want.Top[j].Score))
+			}
+		}
+	}
+
+	rep := ClusterReport{
+		Nodes:           clusterBenchNodes,
+		VNodes:          m.VNodes,
+		N:               clusterBenchN,
+		EventsStreamed:  streamed,
+		CheckedSubjects: clusterCheckSample,
+		MeasureMillis:   clusterMeasureTime.Milliseconds(),
+	}
+	rep.SingleTopKPerSec = timeTopK(hc, sts.URL, subjects)
+	rep.GatewayTopKPerSec = timeTopK(hc, gts.URL, subjects)
+	if rep.SingleTopKPerSec > 0 {
+		rep.ScatterOverhead = rep.GatewayTopKPerSec / rep.SingleTopKPerSec
+	}
+	fmt.Fprintf(os.Stderr, "tagbench: cluster — %d subjects bit-identical; gateway %.0f qps vs single %.0f qps (overhead ratio %.3f)\n",
+		rep.CheckedSubjects, rep.GatewayTopKPerSec, rep.SingleTopKPerSec, rep.ScatterOverhead)
+	return rep
+}

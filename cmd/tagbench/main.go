@@ -232,6 +232,7 @@ type Report struct {
 	Query    QueryReport    `json:"query"`
 	Recovery RecoveryReport `json:"recovery"`
 	Overload OverloadReport `json:"overload"`
+	Cluster  ClusterReport  `json:"cluster"`
 }
 
 func fail(format string, args ...any) {
@@ -902,6 +903,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: overload 2x sheds %.0f%% of bulk; interactive p99 headroom %.2f (>=1 keeps the 5x SLO bound)\n",
 		100*overload.BulkShedFraction2x, overload.InteractiveP99Headroom)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking %d-node scatter-gather vs single node (checked bit-identical first)\n", clusterBenchNodes)
+	clusterRep := runClusterBenchmark(sc.Seed)
+
 	// PR 1-style engine numbers, measured in this same process: the fig6
 	// checkpoint run normalized per post (construction + ingest +
 	// checkpoints — the only per-post engine cost PR 1 recorded).
@@ -938,6 +942,7 @@ func main() {
 		Query:            queryRep,
 		Recovery:         recovery,
 		Overload:         overload,
+		Cluster:          clusterRep,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

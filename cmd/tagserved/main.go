@@ -10,6 +10,14 @@
 //	          [-snap-interval 30s] [-snap-every 0]
 //	          [-rate 0] [-burst 0] [-max-inflight 0] [-queue 0]
 //	          [-queue-wait 250ms] [-max-body 8388608]
+//	          [-cluster-map FILE -cluster-self NAME]
+//
+// With -cluster-map/-cluster-self the process joins a sharded cluster
+// as the named member of the shard-map file (see internal/cluster and
+// cmd/taggate): its allocator and cluster query surface are masked to
+// the resources the consistent-hash ring assigns it, /ingest refuses
+// non-owned resources with 421 Misdirected Request, and the /cluster/*
+// scatter-gather endpoints require the map's hash on every call.
 //
 // The admission flags make overload a deliberate policy instead of an
 // accident: -rate/-burst token-bucket the crowd's bulk ingest (shed
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	incentivetag "incentivetag"
+	"incentivetag/internal/cluster"
 	"incentivetag/internal/server"
 )
 
@@ -76,11 +85,36 @@ func main() {
 	queue := flag.Int("queue", 0, "interactive wait-queue capacity (0 = default, negative = none)")
 	queueWait := flag.Duration("queue-wait", 0, "max time a queued interactive request waits for a slot (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
+	clusterMap := flag.String("cluster-map", "", "shard-map JSON file; makes this node a cluster member (requires -cluster-self)")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in the shard map")
 	flag.Parse()
 
+	// Cluster membership: the shard map masks the allocator and query
+	// surface to owned resources, and the map hash gates /cluster/* RPCs
+	// and misdirected ingest (see internal/cluster).
+	var owned func(int) bool
+	var mapHash string
+	if *clusterMap != "" || *clusterSelf != "" {
+		if *clusterMap == "" || *clusterSelf == "" {
+			fail("-cluster-map and -cluster-self must be set together")
+		}
+		m, err := cluster.LoadMap(*clusterMap)
+		if err != nil {
+			fail("%v", err)
+		}
+		owned, err = m.OwnedBy(*clusterSelf)
+		if err != nil {
+			fail("%v", err)
+		}
+		mapHash = m.Hash()
+		fmt.Fprintf(os.Stderr, "tagserved: cluster member %q of %d nodes (map hash %s)\n",
+			*clusterSelf, len(m.Nodes), mapHash)
+	}
+
 	srv, err := server.NewDeferred(server.Config{
-		Strategy: *stratName,
-		Budget:   *budget,
+		ShardMapHash: mapHash,
+		Strategy:     *stratName,
+		Budget:       *budget,
 		Admission: incentivetag.AdmissionConfig{
 			Rate:        *rate,
 			Burst:       *burst,
@@ -121,6 +155,7 @@ func main() {
 		WALDir:           *walDir,
 		SnapshotInterval: *snapInterval,
 		SnapshotEvery:    *snapEvery,
+		Owned:            owned,
 	})
 	if err != nil {
 		fail("service: %v", err)

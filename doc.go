@@ -141,6 +141,26 @@
 // limiting entirely. AdmissionStats exposes the same counters
 // programmatically.
 //
+// # Scaling out
+//
+// Past one process, internal/cluster + cmd/taggate shard the corpus
+// across N tagserved nodes behind a gateway. A static JSON shard map
+// places resources by consistent hashing on resource id (vnode-
+// smoothed, deterministic — placement is a pure function of the map),
+// every node boots the same primed corpus but ingests only what it
+// owns (ServiceOptions.Owned), and the gateway proxies ingest to each
+// post's owner while scatter-gathering /topk and /search: the
+// subject's live count vector is fetched from its owner, broadcast as
+// an explicit weighted query, and the per-node partial rankings are
+// merged bit-identically to a single-node engine fed the same posts
+// (integer count sums are order-independent in float64; the score
+// expressions are shared verbatim). Every merged response carries
+// per-node epochs and a partial flag: a dead shard degrades reads to
+// 200/partial rather than 5xx, and the shard-map hash rides on every
+// cluster RPC so divergent maps fail with 409 instead of silently
+// mis-ranking. The gateway reuses the admission layer and exposes
+// per-backend health and latency at /metrics/prom.
+//
 // # Quick start
 //
 //	ds, _ := incentivetag.Generate(incentivetag.DefaultConfig(500, 1))

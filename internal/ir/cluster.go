@@ -1,0 +1,196 @@
+// Cluster query surface: the node-side half of scatter-gather queries.
+//
+// A sharded cluster partitions resources across nodes by ownership (the
+// gateway's consistent-hash ring). Each node holds full live state only
+// for the resources it OWNS — every other resource sits at its primed
+// boot state, because the gateway routed all of its live posts to its
+// owner. A node answering a cluster query therefore must (a) score only
+// owned resources and (b) accept the query vector from outside: for a
+// gateway /topk the subject's count vector lives on the subject's owner
+// node, is fetched once via RFDEntries, and is shipped to every node as
+// an explicit integer-weighted query.
+//
+// # Why the merged answer is bit-identical to a single node
+//
+// Every quantity entering a score is an exact small integer in float64:
+// posting counts, query weights (the subject's counts), and the dot
+// products (sums of integer products stay exactly representable, so
+// float addition is associative here and per-node partial accumulation
+// is exact). The score expression is copied verbatim from the
+// single-node paths — dot / (subjNorm * √norm2) with the clamp to 1 for
+// TopK (rankTopK), dot / √(qNorm2·norm2) for Search (SearchExhaustive)
+// — so a candidate's score computed on its owner node has the same bits
+// the single-node engine would produce. Ranking is a strict total order
+// (score desc, id asc; ids unique), so merging per-node top-k lists
+// under the same comparator and truncating to k reproduces the global
+// top-k exactly. Zero-padding composes the same way: each node pads its
+// own owned, non-overlapping resources smallest-id-first, so the union
+// of per-node lists always contains the k globally smallest padding
+// candidates the single-node rankTopK would have chosen.
+package ir
+
+import (
+	"math"
+
+	"incentivetag/internal/sparse"
+	"incentivetag/internal/tags"
+)
+
+// WeightedTag is one (tag, count) component of an externally-supplied
+// integer-weighted query vector — the wire form of a resource's rfd
+// counts.
+type WeightedTag struct {
+	Tag   tags.Tag
+	Count int64
+}
+
+// RFDEntries exports resource id's live count vector as weighted tags
+// (ascending tag order) plus its squared norm, post count and the epoch
+// of the consistent view it was read under. This is what a gateway
+// fetches from a subject's owner node before scattering a TopKWeighted
+// query. Returns nil entries for an out-of-range id.
+func (ix *OnlineIndex) RFDEntries(id int) (entries []WeightedTag, norm2 float64, posts int, epoch uint64) {
+	if id < 0 || id >= ix.n {
+		return nil, 0, 0, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch = ix.epoch.Load()
+	c := ix.rfdLocked(int32(id))
+	entries = make([]WeightedTag, 0, c.Len())
+	for _, t := range c.Support() {
+		entries = append(entries, WeightedTag{Tag: t, Count: c.Get(t)})
+	}
+	return entries, c.Norm2(), c.Posts(), epoch
+}
+
+// TopKWeighted runs a top-k similarity query against an explicit
+// integer-weighted query vector, restricted to resources the owned
+// predicate admits (nil admits all), excluding resource `exclude` (the
+// subject, which must never rank against itself; pass a negative id to
+// exclude nothing). qNorm2 is the query vector's exact squared norm (the
+// subject's Norm2 on its owner node).
+//
+// The execution mirrors TopKExhaustive term for term: identical dot
+// accumulation, identical score expression, identical selector — so for
+// owned == nil, query == subject's own rfd and exclude == subject it is
+// bit-identical to TopK at the same epoch (asserted by tests), and a
+// cluster's per-node partitions merge into exactly the single-node
+// ranking.
+func (ix *OnlineIndex) TopKWeighted(query []WeightedTag, qNorm2 float64, exclude, k int, owned func(int) bool) ([]Scored, uint64) {
+	ix.topkQueries.Add(1)
+	if k <= 0 {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	subjNorm := math.Sqrt(qNorm2)
+	if subjNorm == 0 || len(query) == 0 {
+		// Zero-norm subject: straight to zero-similarity padding over the
+		// owned universe, exactly like the single-node zero-norm path.
+		return rankTopKOwned(ix.n, exclude, k, 0, nil, ix.rfdLocked, owned), epoch
+	}
+	dots := make(map[int32]float64)
+	for _, wt := range query {
+		sc := float64(wt.Count)
+		for _, sh := range ix.shards {
+			pl := sh.postings[wt.Tag]
+			if pl == nil {
+				continue
+			}
+			for _, p := range pl.entries {
+				if int(p.id) == exclude || (owned != nil && !owned(int(p.id))) {
+					continue
+				}
+				dots[p.id] += sc * float64(p.count)
+			}
+		}
+	}
+	return rankTopKOwned(ix.n, exclude, k, subjNorm, dots, ix.rfdLocked, owned), epoch
+}
+
+// rankTopKOwned is rankTopK with an ownership filter on the padding
+// universe (the candidate dots are already owner-filtered by the
+// caller). The scoring and padding logic are copied from rankTopK so the
+// two can never diverge in float behaviour; keep them in lockstep.
+func rankTopKOwned(n, subject, k int, subjNorm float64, dots map[int32]float64, rfd func(int32) *sparse.Counts, owned func(int) bool) []Scored {
+	sel := newTopKSelector(k)
+	if subjNorm > 0 {
+		for id, dot := range dots {
+			o := rfd(id)
+			if o.Posts() == 0 || o.Norm2() == 0 {
+				continue
+			}
+			s := dot / (subjNorm * math.Sqrt(o.Norm2()))
+			if s > 1 {
+				s = 1
+			}
+			sel.push(int(id), s)
+		}
+	}
+	if sel.len() < k {
+		present := make(map[int]bool, sel.len())
+		for _, s := range sel.h {
+			present[s.ID] = true
+		}
+		for id := 0; id < n && sel.len() < k; id++ {
+			if id == subject || present[id] || (owned != nil && !owned(id)) {
+				continue
+			}
+			if _, overlapped := dots[int32(id)]; overlapped {
+				continue
+			}
+			sel.push(id, 0)
+		}
+	}
+	return sel.results()
+}
+
+// SearchOwned is Search restricted to resources the owned predicate
+// admits (nil admits all): the node-side half of a scatter-gather
+// /search. It mirrors SearchExhaustive — which is bit-identical to the
+// pruned Search — so per-node answers merge into exactly the single-node
+// ranking under the (score desc, id asc) comparator.
+func (ix *OnlineIndex) SearchOwned(query tags.Post, k int, owned func(int) bool) ([]Scored, uint64) {
+	ix.searchQueries.Add(1)
+	query = normalizeQuery(query)
+	if k <= 0 || len(query) == 0 || ix.n == 0 {
+		return nil, ix.epoch.Load()
+	}
+	ix.rlockAll()
+	defer ix.runlockAll()
+	epoch := ix.epoch.Load()
+	dots := make(map[int32]float64)
+	for _, t := range query {
+		for _, sh := range ix.shards {
+			pl := sh.postings[t]
+			if pl == nil {
+				continue
+			}
+			for _, p := range pl.entries {
+				if owned != nil && !owned(int(p.id)) {
+					continue
+				}
+				dots[p.id] += float64(p.count)
+			}
+		}
+	}
+	qNorm2 := float64(len(query))
+	sel := newTopKSelector(k)
+	for id, dot := range dots {
+		if dot == 0 {
+			continue
+		}
+		o := ix.rfdLocked(id)
+		if o.Posts() == 0 || o.Norm2() == 0 {
+			continue
+		}
+		s := dot / math.Sqrt(qNorm2*o.Norm2())
+		if s > 1 {
+			s = 1
+		}
+		sel.push(int(id), s)
+	}
+	return sel.results(), epoch
+}

@@ -106,6 +106,15 @@ type Config struct {
 	// 413 instead of a generic decode error. 0 selects DefaultMaxBody.
 	MaxBodyBytes int64
 
+	// ShardMapHash is the deterministic hash of the cluster shard map
+	// this node was booted from (cluster.Map.Hash). Non-empty only on
+	// cluster members: /cluster/* requests must carry a matching hash
+	// (409 otherwise), and /ingest refuses resources the node does not
+	// own with 421 Misdirected Request — a post landing off-owner would
+	// silently vanish from every scatter-gather ranking. Empty means the
+	// node is standalone and /cluster/* endpoints answer 409.
+	ShardMapHash string
+
 	// ReadTimeout, WriteTimeout and IdleTimeout bound each connection's
 	// full-request read, response write and keep-alive idle time, so a
 	// slow-reading (or slow-sending) client can never pin a handler
@@ -240,6 +249,12 @@ func NewDeferred(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /search", s.instrument("/search", admit.Interactive, s.handleSearch))
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Cluster scatter-gather endpoints (only useful on cluster members;
+	// guarded by the shard-map hash check). Interactive class: they are
+	// the gateway-side query path's building blocks.
+	s.mux.HandleFunc("GET /cluster/rfd", s.instrument("/cluster/rfd", admit.Interactive, s.handleClusterRFD))
+	s.mux.HandleFunc("POST /cluster/topk", s.instrument("/cluster/topk", admit.Interactive, s.handleClusterTopK))
+	s.mux.HandleFunc("GET /cluster/search", s.instrument("/cluster/search", admit.Interactive, s.handleClusterSearch))
 	return s, nil
 }
 
@@ -405,6 +420,11 @@ type OKResponse struct {
 // snapshot plus the allocator's lease census and the server's budget
 // accounting.
 type MetricsResponse struct {
+	// Epoch is the query-index version (posts absorbed since boot), the
+	// same value /topk and /search responses carry. Exposed here so a
+	// cluster gateway can epoch-tag merged metrics without extra calls.
+	Epoch uint64 `json:"epoch"`
+
 	Posts          int     `json:"posts"`
 	Spent          int     `json:"spent"`
 	MeanQuality    float64 `json:"mean_quality"`
@@ -543,6 +563,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		if !svc.OwnsResource(req.Resource) {
+			// A post accepted off-owner would be invisible to every
+			// scatter-gather query (nodes score only owned resources), so a
+			// misrouted ingest is refused loudly rather than lost silently.
+			writeError(w, http.StatusMisdirectedRequest,
+				"resource %d is not owned by this node; route via the gateway", req.Resource)
+			return
+		}
 		if err := s.ingest(w, func() error { return svc.Ingest(req.Resource, p) }); err == nil {
 			writeJSON(w, http.StatusOK, IngestResponse{Ingested: 1})
 		}
@@ -553,6 +581,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		p, err := post(ev.Tags)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "event %d: %v", k, err)
+			return
+		}
+		if !svc.OwnsResource(ev.Resource) {
+			writeError(w, http.StatusMisdirectedRequest,
+				"event %d: resource %d is not owned by this node; route via the gateway", k, ev.Resource)
 			return
 		}
 		events[k] = incentivetag.PostEvent{Resource: ev.Resource, Post: p}
@@ -718,6 +751,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.budgetMu.Unlock()
 	writeJSON(w, http.StatusOK, MetricsResponse{
+		Epoch:             svc.QueryStats().Epoch,
 		Posts:             m.Posts,
 		Spent:             m.Spent,
 		MeanQuality:       m.MeanQuality,
