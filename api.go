@@ -436,11 +436,35 @@ type ServiceOptions struct {
 	// rejects misdirected posts loudly instead (421) so a routing bug
 	// can never silently split a resource's live state across nodes.
 	Owned func(resource int) bool
+	// MaxResidentResources caps how many resources the memory-tiering
+	// policy keeps hot (tracker and count vector materialized on the
+	// heap); the rest are frozen into compact varint records and
+	// rehydrated on touch. 0 means unbounded. Setting either residency
+	// budget enables tiering: a background policy loop evicts the
+	// least-recently-touched resources back inside the budget, the query
+	// index mirrors each eviction by freezing the matching forward
+	// vector (posting lists stay live so pruned queries bound and skip
+	// cold resources without rehydrating them), and — with a WALDir
+	// holding a snapshot — boot switches to an mmap'd cold start where
+	// every resource begins cold, aliasing its record inside the mapped
+	// snapshot. Every answer on every path stays bit-identical to an
+	// untiered service; only memory and latency profiles change.
+	MaxResidentResources int
+	// MaxResidentBytes caps the estimated heap held by hot resources
+	// (count vectors, MA rings, trackers). 0 means unbounded.
+	MaxResidentBytes int64
+	// TierInterval is the background tiering loop's cadence (default
+	// DefaultTierInterval). Negative disables the background loop;
+	// TierNow still runs the policy on demand.
+	TierInterval time.Duration
 }
 
 // DefaultSnapshotInterval is the background snapshotter's default time
 // policy.
 const DefaultSnapshotInterval = time.Minute
+
+// DefaultTierInterval is the background tiering loop's default cadence.
+const DefaultTierInterval = 2 * time.Second
 
 // LeaseID names one outstanding incentivized post-task assignment.
 type LeaseID = alloc.LeaseID
@@ -495,6 +519,19 @@ type Service struct {
 
 	stopSnap chan struct{}
 	snapWG   sync.WaitGroup
+
+	// Tiering machinery (zero when no residency budget is configured).
+	// mapped is the snapshot mapping a cold boot aliased its frozen
+	// records out of; it must outlive the engine, so Close releases it
+	// last. rehydrateHist collects per-rehydration latencies from the
+	// engine's observer hook (lock-free; it runs under shard locks).
+	tiered           bool
+	maxResident      int
+	maxResidentBytes int64
+	rehydrateHist    *admit.Histogram
+	mapped           *tagstore.MappedSnapshot
+	stopTier         chan struct{}
+	tierWG           sync.WaitGroup
 }
 
 // RecoveryStats reports what NewService did to rebuild state from a
@@ -569,6 +606,12 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		UnderThreshold: data.UnderThreshold,
 		TagUniverse:    data.TagUniverse,
 	}
+	tiered := opts.MaxResidentResources > 0 || opts.MaxResidentBytes > 0
+	var hist *admit.Histogram
+	if tiered {
+		hist = admit.NewHistogram()
+		engCfg.RehydrateObserver = func(nanos int64) { hist.Observe(time.Duration(nanos)) }
+	}
 	var wal *tagstore.Store
 	if opts.WALDir != "" {
 		var err error
@@ -578,7 +621,7 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		}
 		engCfg.WAL = wal
 	}
-	eng, rec, err := buildEngine(engCfg, data, wal, opts.WALDir)
+	eng, rec, mapped, err := buildEngine(engCfg, data, wal, opts.WALDir, tiered)
 	if err != nil {
 		if wal != nil {
 			wal.Close()
@@ -587,6 +630,7 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 	}
 	strat, err := NewStrategy(opts.Strategy, opts.Omega)
 	if err != nil {
+		mapped.Close()
 		if wal != nil {
 			wal.Close()
 		}
@@ -601,28 +645,50 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 		env = strategy.Masked(env, opts.Owned)
 	}
 	s := &Service{
-		eng:         eng,
-		wal:         wal,
-		alloc:       alloc.New(strat, env, eng),
-		walDir:      opts.WALDir,
-		keep:        opts.KeepSnapshots,
-		recovery:    rec,
-		lastSnapSeq: rec.SnapshotSeq,
-		owned:       opts.Owned,
+		eng:              eng,
+		wal:              wal,
+		alloc:            alloc.New(strat, env, eng),
+		walDir:           opts.WALDir,
+		keep:             opts.KeepSnapshots,
+		recovery:         rec,
+		lastSnapSeq:      rec.SnapshotSeq,
+		owned:            opts.Owned,
+		tiered:           tiered,
+		maxResident:      opts.MaxResidentResources,
+		maxResidentBytes: opts.MaxResidentBytes,
+		rehydrateHist:    hist,
+		mapped:           mapped,
 	}
 	// Seed the live query index from the engine state — which, on the
 	// durable path, is the recovered state (snapshot + WAL tail already
 	// replayed), so a post-crash server answers queries identically to
 	// the one that crashed — then attach the delta subscriber before any
 	// traffic can flow. This one-time seed is the only corpus scan the
-	// query path ever performs.
-	s.idx = ir.NewOnlineIndex(eng.SnapshotRFDs(), eng.Shards())
+	// query path ever performs. A tiered service seeds frozen: each
+	// resource's support streams straight from the engine (live vector or
+	// frozen record, residency unchanged) into a compressed forward
+	// vector, so a cold mmap boot never materializes the corpus just to
+	// answer queries — subjects thaw as traffic touches them.
+	if tiered {
+		s.idx = ir.NewOnlineIndexFrozen(eng.N(), eng.Shards(), data.TagUniverse, eng.ForEachEntry)
+	} else {
+		s.idx = ir.NewOnlineIndex(eng.SnapshotRFDs(), eng.Shards())
+	}
 	eng.Subscribe(s.idx)
 	s.cache = newResultCache(0)
 	if wal != nil && opts.SnapshotInterval > 0 {
 		s.stopSnap = make(chan struct{})
 		s.snapWG.Add(1)
 		go s.snapshotter(opts.SnapshotInterval, opts.SnapshotEvery)
+	}
+	if tiered && opts.TierInterval >= 0 {
+		interval := opts.TierInterval
+		if interval == 0 {
+			interval = DefaultTierInterval
+		}
+		s.stopTier = make(chan struct{})
+		s.tierWG.Add(1)
+		go s.tierLoop(interval)
 	}
 	return s, nil
 }
@@ -631,46 +697,88 @@ func NewService(ds *Dataset, opts ServiceOptions) (*Service, error) {
 // when the WAL directory already holds any. Every divergence between
 // the directory and the corpus/options is a loud error: recovery either
 // reproduces the pre-crash engine exactly or refuses to serve.
-func buildEngine(cfg engine.Config, data *sim.Data, wal *tagstore.Store, walDir string) (*engine.Engine, RecoveryStats, error) {
+//
+// A tiered service boots COLD from the newest snapshot: the snapshot
+// file is mmap'd, each resource's frozen record aliases its byte span
+// inside the mapping, and only scalars are computed during one
+// streaming validation pass (engine.NewFromMapped) — seq cross-checks
+// and corpus binding are the same as the decoded path. The returned
+// mapping (nil otherwise) must stay open as long as the engine lives;
+// Service.Close releases it.
+func buildEngine(cfg engine.Config, data *sim.Data, wal *tagstore.Store, walDir string, tiered bool) (*engine.Engine, RecoveryStats, *tagstore.MappedSnapshot, error) {
 	var rec RecoveryStats
 	if wal == nil {
 		eng, err := engine.New(cfg, data.EngineSpecs())
-		return eng, rec, err
+		return eng, rec, nil, err
 	}
 	start := time.Now()
-	snapSeq, payload, ok, skipped, err := tagstore.LatestSnapshot(walDir)
-	if err != nil {
-		return nil, rec, err
-	}
-	rec.SnapshotsSkipped = skipped
 	var eng *engine.Engine
-	if ok {
-		st, err := engine.UnmarshalState(payload)
+	var mapped *tagstore.MappedSnapshot
+	var snapSeq uint64
+	if tiered {
+		m, ok, skipped, err := tagstore.MapLatestSnapshot(walDir)
 		if err != nil {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+			return nil, rec, nil, err
 		}
-		if st.LastSeq != snapSeq {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: snapshot file covers seq %d but its state says %d", walDir, snapSeq, st.LastSeq)
+		rec.SnapshotsSkipped = skipped
+		if ok {
+			var stateSeq uint64
+			eng, stateSeq, err = engine.NewFromMapped(cfg, data.EngineSpecs(), m.Payload)
+			if err == nil && stateSeq != m.LastSeq {
+				err = fmt.Errorf("snapshot file covers seq %d but its state says %d", m.LastSeq, stateSeq)
+			}
+			if err == nil && stateSeq > wal.LastSeq() {
+				err = fmt.Errorf("snapshot covers seq %d but the log ends at %d — log truncated behind the snapshot", stateSeq, wal.LastSeq())
+			}
+			if err == nil && wal.FirstSeq() > stateSeq+1 {
+				err = fmt.Errorf("log starts at seq %d, leaving a gap after snapshot seq %d", wal.FirstSeq(), stateSeq)
+			}
+			if err != nil {
+				m.Close()
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+			}
+			mapped = m
+			snapSeq = m.LastSeq
+			rec.SnapshotLoaded = true
+			rec.SnapshotSeq = snapSeq
 		}
-		if st.LastSeq > wal.LastSeq() {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: snapshot covers seq %d but the log ends at %d — log truncated behind the snapshot", walDir, st.LastSeq, wal.LastSeq())
-		}
-		if wal.FirstSeq() > st.LastSeq+1 {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d, leaving a gap after snapshot seq %d", walDir, wal.FirstSeq(), st.LastSeq)
-		}
-		eng, err = engine.NewFromState(cfg, data.EngineSpecs(), st)
-		if err != nil {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
-		}
-		rec.SnapshotLoaded = true
-		rec.SnapshotSeq = snapSeq
 	} else {
-		if wal.LastSeq() > 0 && wal.FirstSeq() > 1 {
-			return nil, rec, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d with no usable snapshot — compacted records are unrecoverable", walDir, wal.FirstSeq())
+		seq, payload, ok, skipped, err := tagstore.LatestSnapshot(walDir)
+		if err != nil {
+			return nil, rec, nil, err
 		}
+		rec.SnapshotsSkipped = skipped
+		if ok {
+			st, err := engine.UnmarshalState(payload)
+			if err != nil {
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+			}
+			if st.LastSeq != seq {
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: snapshot file covers seq %d but its state says %d", walDir, seq, st.LastSeq)
+			}
+			if st.LastSeq > wal.LastSeq() {
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: snapshot covers seq %d but the log ends at %d — log truncated behind the snapshot", walDir, st.LastSeq, wal.LastSeq())
+			}
+			if wal.FirstSeq() > st.LastSeq+1 {
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d, leaving a gap after snapshot seq %d", walDir, wal.FirstSeq(), st.LastSeq)
+			}
+			eng, err = engine.NewFromState(cfg, data.EngineSpecs(), st)
+			if err != nil {
+				return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: %w", walDir, err)
+			}
+			rec.SnapshotLoaded = true
+			rec.SnapshotSeq = seq
+			snapSeq = seq
+		}
+	}
+	if eng == nil {
+		if wal.LastSeq() > 0 && wal.FirstSeq() > 1 {
+			return nil, rec, nil, fmt.Errorf("incentivetag: recovering %s: log starts at seq %d with no usable snapshot — compacted records are unrecoverable", walDir, wal.FirstSeq())
+		}
+		var err error
 		eng, err = engine.New(cfg, data.EngineSpecs())
 		if err != nil {
-			return nil, rec, err
+			return nil, rec, nil, err
 		}
 	}
 	n := eng.N()
@@ -682,13 +790,14 @@ func buildEngine(cfg engine.Config, data *sim.Data, wal *tagstore.Store, walDir 
 		return eng.Replay(int(rid), p)
 	})
 	if err != nil {
-		return nil, rec, err
+		mapped.Close()
+		return nil, rec, nil, err
 	}
 	rec.ReplayBytes = bytes
 	rec.RecoveredPosts = eng.Snapshot().Posts
 	rec.ReplayMillis = time.Since(start).Milliseconds()
 	rec.Recovered = rec.SnapshotLoaded || rec.ReplayedRecords > 0
-	return eng, rec, nil
+	return eng, rec, mapped, nil
 }
 
 // N returns the number of resources served.
@@ -1043,23 +1152,138 @@ func (s *Service) snapshotter(interval time.Duration, records int) {
 	}
 }
 
-// Close stops the background snapshotter, writes a final snapshot (when
-// a WAL is configured and new records landed), and flushes and releases
-// the log.
+// TierStats is the combined residency census across the engine tier
+// (trackers and count vectors) and the query-index tier (forward
+// vectors; posting lists stay live either way), plus the rehydrate
+// latency profile. Counters are monotone since boot and partition-clean:
+// a cluster's per-node values sum meaningfully.
+type TierStats struct {
+	// Enabled reports whether a residency budget is configured (TierNow
+	// and the background loop only run when it is; the counters below
+	// still read zero-cold on an untiered service).
+	Enabled bool `json:"enabled"`
+	// MaxResident and MaxResidentBytes echo the configured budgets
+	// (0 = unbounded).
+	MaxResident      int   `json:"max_resident"`
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	// Engine tier: Resident and Cold partition the corpus; Evictions and
+	// Rehydrations count hot→cold / cold→hot transitions; ResidentBytes
+	// estimates the heap hot resources hold.
+	Resident      int    `json:"resident_resources"`
+	Cold          int    `json:"cold_resources"`
+	Evictions     uint64 `json:"evictions"`
+	Rehydrations  uint64 `json:"rehydrations"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	// Index tier: cold forward vectors and the bytes their frozen blobs
+	// hold, with the matching transition counters.
+	IndexColdVecs     int64  `json:"index_cold_vecs"`
+	IndexFrozenBytes  int64  `json:"index_frozen_bytes"`
+	IndexEvictions    uint64 `json:"index_evictions"`
+	IndexRehydrations uint64 `json:"index_rehydrations"`
+	// Rehydrate latency: sample count and upper-bound p50/p99 in seconds
+	// from the engine's per-rehydration observer (zero when untiered or
+	// before the first rehydration).
+	RehydrateCount uint64  `json:"rehydrate_count"`
+	RehydrateP50   float64 `json:"rehydrate_p50_seconds"`
+	RehydrateP99   float64 `json:"rehydrate_p99_seconds"`
+}
+
+// Residency reports the hot/cold residency census. It scans shard
+// residency under each shard lock in turn — sized for metrics scrapes
+// and policy inspection, not hot paths.
+func (s *Service) Residency() TierStats {
+	est := s.eng.Residency()
+	qst := s.idx.Stats()
+	ts := TierStats{
+		Enabled:           s.tiered,
+		MaxResident:       s.maxResident,
+		MaxResidentBytes:  s.maxResidentBytes,
+		Resident:          est.Resident,
+		Cold:              est.Cold,
+		Evictions:         est.Evictions,
+		Rehydrations:      est.Rehydrations,
+		ResidentBytes:     est.ResidentBytes,
+		IndexColdVecs:     qst.ColdVecs,
+		IndexFrozenBytes:  qst.FrozenBytes,
+		IndexEvictions:    qst.VecEvictions,
+		IndexRehydrations: qst.VecRehydrations,
+	}
+	if s.rehydrateHist != nil {
+		ts.RehydrateCount = s.rehydrateHist.Count()
+		ts.RehydrateP50 = s.rehydrateHist.Quantile(0.50)
+		ts.RehydrateP99 = s.rehydrateHist.Quantile(0.99)
+	}
+	return ts
+}
+
+// TierNow synchronously runs one tiering policy pass: the engine evicts
+// its least-recently-touched hot resources back inside the residency
+// budget, and the query index mirrors each eviction by freezing the
+// matching forward vector. Returns how many resources froze. Eviction
+// never changes observable state — every read and query before and
+// after is bit-identical — so running it concurrently with traffic is
+// safe; a resource touched mid-pass is simply left hot. Errors when no
+// residency budget is configured.
+func (s *Service) TierNow() (evicted int, err error) {
+	if !s.tiered {
+		return 0, fmt.Errorf("incentivetag: service has no residency budget configured")
+	}
+	ids, err := s.eng.EvictToBudget(s.maxResident, s.maxResidentBytes)
+	if len(ids) > 0 {
+		s.idx.Evict(ids)
+	}
+	return len(ids), err
+}
+
+// tierLoop is the background tiering policy: every interval, bring the
+// engine back inside its residency budget. Failures are left for the
+// next tick — eviction is pure housekeeping and must never kill the
+// serving loop.
+func (s *Service) tierLoop(interval time.Duration) {
+	defer s.tierWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopTier:
+			return
+		case <-tick.C:
+			s.TierNow()
+		}
+	}
+}
+
+// Close stops the background snapshotter and tiering loop, writes a
+// final snapshot (when a WAL is configured and new records landed),
+// flushes and releases the log, and finally unmaps the boot snapshot a
+// tiered cold start aliased — cold resources read their frozen records
+// out of that mapping, so it must outlive every engine read, and the
+// Service must not be used after Close.
 func (s *Service) Close() error {
 	if s.stopSnap != nil {
 		close(s.stopSnap)
 		s.snapWG.Wait()
 		s.stopSnap = nil
 	}
-	if s.wal == nil {
-		return nil
+	if s.stopTier != nil {
+		close(s.stopTier)
+		s.tierWG.Wait()
+		s.stopTier = nil
 	}
-	_, snapErr := s.SnapshotNow()
-	err := s.wal.Close()
-	s.wal = nil
-	if err == nil {
-		err = snapErr
+	var err error
+	if s.wal != nil {
+		_, snapErr := s.SnapshotNow()
+		err = s.wal.Close()
+		s.wal = nil
+		if err == nil {
+			err = snapErr
+		}
+	}
+	if s.mapped != nil {
+		if cerr := s.mapped.Close(); err == nil {
+			err = cerr
+		}
+		s.mapped = nil
 	}
 	return err
 }

@@ -26,7 +26,14 @@
 //     segmented WAL with a snapshot at 90%, then timed recoveries —
 //     snapshot+tail versus full-log replay (wall clock and bytes read)
 //     — plus the disk reclaimed by snapshot-driven compaction. Both
-//     recovered engines must match the live engine bit for bit.
+//     recovered engines must match the live engine bit for bit;
+//   - the memory-tiering path: live heap of the corpus recovered
+//     all-resident versus cold-booted off the mmap'd snapshot under a
+//     cold-majority residency budget (at the scenario scale and 10x),
+//     per-resource evict/rehydrate latency, and the cold-query cost of
+//     the pruned executor on frozen forward vectors. A tiered service
+//     must first answer bit-identically to a never-evicted one over
+//     the same interleaved stream, or the benchmark aborts.
 //
 // Before any timing, both ingest representations run one checked pass:
 // integer metrics must match exactly and per-resource qualities must be
@@ -233,6 +240,7 @@ type Report struct {
 	Recovery RecoveryReport `json:"recovery"`
 	Overload OverloadReport `json:"overload"`
 	Cluster  ClusterReport  `json:"cluster"`
+	Memory   MemoryReport   `json:"memory"`
 }
 
 func fail(format string, args ...any) {
@@ -906,6 +914,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tagbench: benchmarking %d-node scatter-gather vs single node (checked bit-identical first)\n", clusterBenchNodes)
 	clusterRep := runClusterBenchmark(sc.Seed)
 
+	fmt.Fprintf(os.Stderr, "tagbench: benchmarking memory tiering at n=%d and n=%d (checked bit-identical first)\n", sc.N, sc.N*10)
+	memoryRep := runMemoryBenchmark(sc, *batch)
+
 	// PR 1-style engine numbers, measured in this same process: the fig6
 	// checkpoint run normalized per post (construction + ingest +
 	// checkpoints — the only per-post engine cost PR 1 recorded).
@@ -943,6 +954,7 @@ func main() {
 		Recovery:         recovery,
 		Overload:         overload,
 		Cluster:          clusterRep,
+		Memory:           memoryRep,
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

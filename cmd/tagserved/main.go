@@ -10,6 +10,7 @@
 //	          [-snap-interval 30s] [-snap-every 0]
 //	          [-rate 0] [-burst 0] [-max-inflight 0] [-queue 0]
 //	          [-queue-wait 250ms] [-max-body 8388608]
+//	          [-max-resident 0] [-max-resident-bytes 0] [-tier-interval 2s]
 //	          [-cluster-map FILE -cluster-self NAME]
 //
 // With -cluster-map/-cluster-self the process joins a sharded cluster
@@ -30,6 +31,17 @@
 // counters, queue gauges and per-route latency quantiles in Prometheus
 // text format. Limits are per process: a fleet behind a balancer
 // multiplies them by the replica count.
+//
+// The residency flags enable memory tiering: -max-resident and
+// -max-resident-bytes budget how many resources (and how much estimated
+// heap) stay hot; the rest are frozen to compact records and rehydrated
+// on touch, a background policy loop (-tier-interval) evicts the
+// least-recently-touched back inside the budget, and — combined with
+// -wal — a restart boots COLD straight off the mmap'd snapshot instead
+// of decoding the corpus into the heap. Answers on every endpoint are
+// bit-identical with tiering on or off; /info, /metrics and
+// /metrics/prom (tagserved_resident_resources and friends) expose the
+// census.
 //
 // With -wal the service is durable: every acknowledged post is
 // group-committed to a segmented log before it mutates engine state, a
@@ -85,6 +97,9 @@ func main() {
 	queue := flag.Int("queue", 0, "interactive wait-queue capacity (0 = default, negative = none)")
 	queueWait := flag.Duration("queue-wait", 0, "max time a queued interactive request waits for a slot (0 = default)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
+	maxResident := flag.Int("max-resident", 0, "max resources kept hot in RAM; the rest tier to compact cold records (0 = unlimited)")
+	maxResidentBytes := flag.Int64("max-resident-bytes", 0, "max estimated heap for hot resources (0 = unlimited)")
+	tierInterval := flag.Duration("tier-interval", 0, "background tiering policy cadence (0 = default, negative disables the loop)")
 	clusterMap := flag.String("cluster-map", "", "shard-map JSON file; makes this node a cluster member (requires -cluster-self)")
 	clusterSelf := flag.String("cluster-self", "", "this node's name in the shard map")
 	flag.Parse()
@@ -149,13 +164,16 @@ func main() {
 		fail("corpus: %v", err)
 	}
 	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
-		Shards:           *shards,
-		Strategy:         *stratName,
-		Seed:             *seed,
-		WALDir:           *walDir,
-		SnapshotInterval: *snapInterval,
-		SnapshotEvery:    *snapEvery,
-		Owned:            owned,
+		Shards:               *shards,
+		Strategy:             *stratName,
+		Seed:                 *seed,
+		WALDir:               *walDir,
+		SnapshotInterval:     *snapInterval,
+		SnapshotEvery:        *snapEvery,
+		Owned:                owned,
+		MaxResidentResources: *maxResident,
+		MaxResidentBytes:     *maxResidentBytes,
+		TierInterval:         *tierInterval,
 	})
 	if err != nil {
 		fail("service: %v", err)

@@ -87,6 +87,30 @@
 // answers 503 until replay completes, so restart-under-load scripts
 // never race recovery.
 //
+// # Memory tiering
+//
+// With a residency budget set (ServiceOptions.MaxResidentResources
+// and/or MaxResidentBytes), residence in RAM becomes a per-resource
+// property. A background policy loop (TierInterval; TierNow forces a
+// pass) freezes the least-recently-touched resources into compact
+// varint+delta records (internal/codec — the snapshot encoding) and
+// mirrors each eviction into the query index, which keeps its cold
+// forward vectors compressed while posting lists stay live; any write
+// touching a cold resource rehydrates it on the spot with the same
+// exact-integer recompute snapshot restore uses. A tiered restart on a
+// WALDir boots cold straight off the mmap'd snapshot
+// (tagstore.MapLatestSnapshot): every frozen record aliases the
+// mapping, so the heap cost per cold resource is a few scalars (~17x
+// fewer live-heap bytes per resource than an all-resident boot at
+// fig6 scale — gated in CI). Answers are bit-identical with tiering
+// on or off — metrics, qualities, allocation decisions and top-k
+// rankings are property-tested against a never-evicted twin at the
+// engine, index and Service levels, and cold subjects are served off
+// frozen vectors without rehydrating. Service.Residency (GET /info,
+// /metrics, and tagserved_* gauges on /metrics/prom) reports the
+// hot/cold census, eviction/rehydration counters and rehydrate
+// latency quantiles.
+//
 // # Live query path
 //
 // Service.TopK and Service.Search serve the paper's retrieval

@@ -216,6 +216,17 @@ type MetricsResponse struct {
 	AllocatedSpent  int `json:"allocated_spent"`
 	RemainingBudget int `json:"remaining_budget"` // -1 = any node unlimited
 
+	// Memory-tiering census. Residency partitions cleanly — each node
+	// tiers only the resources it holds — so counts, transition counters
+	// and resident bytes are exact cluster-wide sums; the rehydrate p99
+	// is the max across live nodes (the worst tail a query can hit).
+	ResidentResources int     `json:"resident_resources"`
+	ColdResources     int     `json:"cold_resources"`
+	Evictions         uint64  `json:"evictions"`
+	Rehydrations      uint64  `json:"rehydrations"`
+	ResidentBytes     int64   `json:"resident_bytes"`
+	RehydrateP99      float64 `json:"rehydrate_p99_seconds"`
+
 	Nodes map[string]server.MetricsResponse `json:"nodes"`
 }
 
@@ -823,6 +834,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.LeasesFulfilled += m.LeasesFulfilled
 		out.LeasesExpired += m.LeasesExpired
 		out.AllocatedSpent += m.AllocatedSpent
+		out.ResidentResources += m.ResidentResources
+		out.ColdResources += m.ColdResources
+		out.Evictions += m.Evictions
+		out.Rehydrations += m.Rehydrations
+		out.ResidentBytes += m.ResidentBytes
+		if m.RehydrateP99 > out.RehydrateP99 {
+			out.RehydrateP99 = m.RehydrateP99
+		}
 		if m.RemainingBudget < 0 {
 			unlimited = true
 		} else {

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"incentivetag/internal/quality"
 	"incentivetag/internal/sparse"
@@ -91,6 +92,12 @@ type Config struct {
 	// writers. Primed initial posts are NOT logged — the WAL records
 	// live traffic only.
 	WAL *tagstore.Store
+	// RehydrateObserver, when non-nil, is invoked with the duration (in
+	// nanoseconds) of every cold→hot rehydration. It runs under the
+	// owning shard's lock, so implementations must be fast and lock-free
+	// (the Service wires an atomic histogram here for the rehydrate-p99
+	// gauge).
+	RehydrateObserver func(nanos int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -168,8 +175,23 @@ type resource struct {
 	// quality is the current q_i, kept in lockstep with dot.
 	quality float64
 	// consumed mirrors tracker.Posts(); kept as a field so Count reads
-	// don't touch the tracker's internals.
+	// don't touch the tracker's internals — and so cold resources answer
+	// Count without rehydrating.
 	consumed int
+
+	// Residency tier (see residency.go). A resource is HOT when tracker
+	// is non-nil and COLD when it is nil; cold resources keep their full
+	// state in frozen (the shared per-resource record layout, possibly
+	// aliasing an mmap'd snapshot) plus the read scalars quality,
+	// consumed and maSum.
+	frozen []byte
+	// lastTouch is the engine access-clock reading of the last apply or
+	// rehydrate — the recency the LRU eviction policy orders by.
+	lastTouch uint64
+	// maSum is the MA ring's running sum, retained while cold so MA
+	// sweeps (the MU allocator) never force residency. Only meaningful
+	// when tracker is nil; the tracker owns the live value while hot.
+	maSum float64
 }
 
 // quality recomputes q_i from the maintained dot and norms. The
@@ -181,21 +203,7 @@ func (r *resource) computeQuality() float64 {
 		return 0
 	}
 	c := r.tracker.Counts()
-	if c.Posts() == 0 || r.refPosts == 0 {
-		return 0
-	}
-	n2 := c.Norm2()
-	if n2 == 0 || r.refNorm2 == 0 {
-		return 0
-	}
-	s := float64(r.dot) / math.Sqrt(n2*r.refNorm2)
-	if s > 1 {
-		s = 1
-	}
-	if s < 0 {
-		s = 0
-	}
-	return s
+	return qualityFrom(r, r.dot, c.Norm2(), c.Posts())
 }
 
 // shard owns a disjoint subset of resources behind one lock, plus the
@@ -263,6 +271,12 @@ type Engine struct {
 	sub Subscriber
 
 	walMu sync.Mutex // serializes WAL appends across shards
+
+	// clock is the access-recency clock (see AccessClock); evictions and
+	// rehydrations count residency transitions for ResidencyStats.
+	clock        atomic.Uint64
+	evictions    atomic.Uint64
+	rehydrations atomic.Uint64
 }
 
 // Subscribe attaches (or, with nil, detaches) the engine's ingest-delta
@@ -408,6 +422,11 @@ func (e *Engine) Ingest(i int, p tags.Post) error {
 	sh, l := e.locate(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Rehydrate-on-touch before the WAL append: a failed rehydration must
+	// not leave a logged record with no applied post.
+	if err := e.ensureResidentLocked(sh.res[l], i); err != nil {
+		return err
+	}
 	if e.cfg.WAL != nil {
 		e.walMu.Lock()
 		err := e.cfg.WAL.Append(uint32(i), p) // cast safe: New enforces walCapacityOK
@@ -447,6 +466,9 @@ func (e *Engine) IngestBatch(i int, posts []tags.Post) error {
 	sh, l := e.locate(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if err := e.ensureResidentLocked(sh.res[l], i); err != nil {
+		return err
+	}
 	if e.cfg.WAL != nil {
 		for _, p := range posts {
 			if err := sh.walBatch.Add(uint32(i), p); err != nil {
@@ -529,6 +551,24 @@ func (e *Engine) ingestShardBatch(s int, sh *shard, events []PostEvent, have int
 	nshards := len(e.shards)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Rehydrate every cold target before any WAL record is framed: a
+	// failed rehydration aborts with nothing logged and nothing applied.
+	{
+		left := have
+		for _, ev := range events {
+			if ev.Resource%nshards != s {
+				continue
+			}
+			if r := sh.res[ev.Resource/nshards]; r.tracker == nil {
+				if err := e.ensureResidentLocked(r, ev.Resource); err != nil {
+					return err
+				}
+			}
+			if left--; left == 0 {
+				break
+			}
+		}
+	}
 	if e.cfg.WAL != nil {
 		left := have
 		for _, ev := range events {
@@ -602,6 +642,7 @@ func (e *Engine) applyLocked(sh *shard, r *resource, i int, p tags.Post) {
 	}
 	r.tracker.Observe(p)
 	r.consumed++
+	r.lastTouch = e.clock.Add(1)
 
 	oldQ := r.quality
 	r.quality = r.computeQuality()
@@ -638,7 +679,7 @@ func (e *Engine) Count(i int) int {
 func (e *Engine) MA(i int) (float64, bool) {
 	sh, l := e.locate(i)
 	sh.mu.Lock()
-	ma, ok := sh.res[l].tracker.MA()
+	ma, ok := sh.res[l].ma(e.cfg.Omega)
 	sh.mu.Unlock()
 	return ma, ok
 }
@@ -710,7 +751,12 @@ func (e *Engine) VerifyMetrics() Metrics {
 		sh.mu.Lock()
 		r := sh.res[l]
 		if r.refCounts != nil {
-			qsum += r.tracker.Counts().Cosine(r.refCounts)
+			c := r.tracker
+			if c != nil {
+				qsum += c.Counts().Cosine(r.refCounts)
+			} else {
+				qsum += e.frozenCounts(r, i).Cosine(r.refCounts)
+			}
 		}
 		if r.stableK > 0 && r.consumed >= r.stableK {
 			m.OverTagged++
@@ -742,7 +788,12 @@ func (e *Engine) SnapshotRFDs() []*sparse.Counts {
 	for i := 0; i < e.n; i++ {
 		sh, l := e.locate(i)
 		sh.mu.Lock()
-		out[i] = sh.res[l].tracker.Snapshot()
+		if r := sh.res[l]; r.tracker != nil {
+			out[i] = r.tracker.Snapshot()
+		} else {
+			// Cold: the transient decode IS an independent copy.
+			out[i] = e.frozenCounts(r, i)
+		}
 		sh.mu.Unlock()
 	}
 	return out

@@ -1,10 +1,10 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 
+	"incentivetag/internal/codec"
 	"incentivetag/internal/sparse"
 	"incentivetag/internal/stability"
 	"incentivetag/internal/tags"
@@ -14,6 +14,9 @@ import (
 // stateVersion is bumped on incompatible State encoding changes;
 // UnmarshalBinary rejects unknown versions loudly instead of misreading.
 const stateVersion = 1
+
+// statePrefix namespaces the codec reader's positioned decode errors.
+const statePrefix = "engine: state"
 
 // State is the complete serializable engine state: everything needed to
 // rebuild an engine that is bit-identical to the one exported — same
@@ -75,7 +78,8 @@ type ShardAggregate struct {
 // are held for the duration, so no post is ever half-reflected, and the
 // recorded LastSeq is exactly the set of WAL records the state covers
 // (WAL appends happen under a shard lock, so a lock-stopped engine has
-// applied every record it logged).
+// applied every record it logged). Cold resources are exported from
+// their frozen records without being rehydrated.
 func (e *Engine) ExportState() *State {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -102,6 +106,15 @@ func (e *Engine) ExportState() *State {
 		sh, l := e.locate(i)
 		r := sh.res[l]
 		rs := &st.Resources[i]
+		if r.tracker == nil {
+			// Cold: the frozen record IS the resource's exported state.
+			rd := codec.NewReader(r.frozen, statePrefix)
+			readResourceState(rd, rs)
+			if err := rd.Finish(); err != nil {
+				panic(fmt.Sprintf("engine: resource %d frozen record corrupt: %v", i, err))
+			}
+			continue
+		}
 		rs.Posts = r.tracker.Posts()
 		rs.Tags, rs.Counts = r.tracker.Counts().Entries(nil, nil)
 		rs.Ring, rs.Head, rs.Fill, rs.Sum = r.tracker.ExportRing()
@@ -212,6 +225,131 @@ func NewFromState(cfg Config, specs []ResourceSpec, st *State) (*Engine, error) 
 	return e, nil
 }
 
+// NewFromMapped rebuilds an engine from a marshalled State payload with
+// every resource starting COLD: the payload is indexed, not decoded —
+// each resource keeps a frozen record that aliases its byte span inside
+// payload, and only the scalars the engine answers reads from (post
+// count, quality, MA window sum) are computed during a single streaming
+// pass. When payload is an mmap'd snapshot (tagstore.MapSnapshot), boot
+// cost is one sequential page-cache walk and the resident heap holds no
+// per-resource vectors or trackers at all; resources rehydrate lazily as
+// traffic touches them.
+//
+// The caller must keep payload valid (the mapping open) for the life of
+// the engine: frozen records alias it until their resource is
+// rehydrated. Validation matches NewFromState — configuration, corpus
+// and aggregate mismatches fail loudly. The returned lastSeq is the
+// snapshot's WAL coverage, as State.LastSeq.
+func NewFromMapped(cfg Config, specs []ResourceSpec, payload []byte) (e *Engine, lastSeq uint64, err error) {
+	cfg = cfg.withDefaults()
+	if cfg.Omega < 2 {
+		return nil, 0, fmt.Errorf("engine: omega must be ≥ 2, got %d", cfg.Omega)
+	}
+	r := codec.NewReader(payload, statePrefix)
+	if v := r.Uvarint("version"); r.Err() == nil && v != stateVersion {
+		return nil, 0, fmt.Errorf("engine: state version %d not supported (want %d)", v, stateVersion)
+	}
+	omega := int(r.Uvarint("omega"))
+	nshards := int(r.Uvarint("shards"))
+	under := int(r.Varint("under threshold"))
+	universe := int(r.Uvarint("tag universe"))
+	lastSeq = r.Uvarint("last seq")
+	n := r.Length("resource count", maxStateSlice)
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	if omega != cfg.Omega || nshards != cfg.Shards || under != cfg.UnderThreshold || universe != cfg.TagUniverse {
+		return nil, 0, fmt.Errorf("engine: state (omega=%d shards=%d under=%d universe=%d) does not match config (omega=%d shards=%d under=%d universe=%d)",
+			omega, nshards, under, universe,
+			cfg.Omega, cfg.Shards, cfg.UnderThreshold, cfg.TagUniverse)
+	}
+	if n != len(specs) {
+		return nil, 0, fmt.Errorf("engine: state has %d resources, corpus has %d", n, len(specs))
+	}
+	if cfg.WAL != nil && !walCapacityOK(n) {
+		return nil, 0, fmt.Errorf("engine: %d resources overflow the WAL's 32-bit record ids", n)
+	}
+	e = &Engine{cfg: cfg, n: n, shards: make([]*shard, cfg.Shards)}
+	for s := range e.shards {
+		e.shards[s] = &shard{}
+	}
+	ingested := 0
+	for i, spec := range specs {
+		res := &resource{
+			stableK: spec.StableK,
+			cost:    spec.Cost,
+		}
+		if res.cost == 0 {
+			res.cost = 1
+		}
+		if spec.Ref != nil {
+			rc := spec.Ref.Counts()
+			res.refCounts = rc
+			res.refNorm2 = rc.Norm2()
+			res.refPosts = rc.Posts()
+			v := spec.Ref.Vector()
+			res.refDense, res.refSpill = v.Dense, v.Spill
+		}
+		// One streaming pass per record: accumulate the exact-integer dot
+		// and squared norm (term for term as FromEntries would) without
+		// materializing the support, and remember the record's byte span
+		// as the resource's frozen state.
+		start := r.Offset()
+		var dot int64
+		var norm2 float64
+		posts, sum := scanResourceState(r, func(t tags.Tag, cnt int64) {
+			norm2 += float64(cnt) * float64(cnt)
+			if res.refCounts != nil {
+				dot += cnt * res.refGet(t)
+			}
+		})
+		if err := r.Err(); err != nil {
+			return nil, 0, err
+		}
+		if posts < len(spec.Initial) {
+			return nil, 0, fmt.Errorf("engine: resource %d state has %d posts but the corpus primes %d — snapshot belongs to a different corpus", i, posts, len(spec.Initial))
+		}
+		res.frozen = payload[start:r.Offset()]
+		res.consumed = posts
+		res.maSum = sum
+		res.quality = qualityFrom(res, dot, norm2, posts)
+
+		sh := e.shards[i%cfg.Shards]
+		sh.res = append(sh.res, res)
+		if res.stableK > 0 && res.consumed >= res.stableK {
+			sh.over++
+		}
+		if cfg.UnderThreshold >= 0 && res.consumed <= cfg.UnderThreshold {
+			sh.under++
+		}
+		ingested += posts - len(spec.Initial)
+	}
+	na := r.Length("aggregate count", maxStateSlice)
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	if na != cfg.Shards {
+		return nil, 0, fmt.Errorf("engine: state has %d shard aggregates for %d shards", na, cfg.Shards)
+	}
+	posts := 0
+	for s := 0; s < na; s++ {
+		sh := e.shards[s]
+		sh.qsum = r.Float64("qsum")
+		sh.qcomp = r.Float64("qcomp")
+		sh.spent = int(r.Uvarint("spent"))
+		sh.posts = int(r.Uvarint("posts"))
+		sh.wasted = int(r.Uvarint("wasted"))
+		posts += sh.posts
+	}
+	if err := r.Finish(); err != nil {
+		return nil, 0, err
+	}
+	if posts != ingested {
+		return nil, 0, fmt.Errorf("engine: state aggregates record %d ingested posts but resource counts imply %d — snapshot belongs to a different corpus", posts, ingested)
+	}
+	return e, lastSeq, nil
+}
+
 // Replay applies one recovered post to resource i without writing the
 // WAL — the record already sits in the log. It is the recovery twin of
 // Ingest: same validation, same metric deltas, no append. Replaying a
@@ -227,6 +365,9 @@ func (e *Engine) Replay(i int, p tags.Post) error {
 	sh, l := e.locate(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if err := e.ensureResidentLocked(sh.res[l], i); err != nil {
+		return err
+	}
 	e.applyLocked(sh, sh.res[l], i, p)
 	return nil
 }
@@ -246,185 +387,177 @@ func (e *Engine) WithWAL(fn func(w *tagstore.Store) error) error {
 
 // --- binary encoding -----------------------------------------------------
 
-// appendFloat encodes a float64 bit-exactly.
-func appendFloat(buf []byte, f float64) []byte {
-	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+// maxStateSlice bounds decoded slice lengths against a corrupt varint
+// allocating unbounded memory.
+const maxStateSlice = 1 << 28
+
+// appendResourceState appends one resource's record in the state
+// format's per-resource layout: posts, support size, delta-encoded
+// (tag, count) pairs ascending from a −1 base, then the MA window (ring
+// length, bit-exact ring floats, head, fill, sum). This layout is the
+// unit shared by full snapshots (MarshalBinary), the residency tier's
+// frozen records, and the mapped-boot index (scanResourceState) — one
+// encoder, three consumers. i names the resource in errors.
+func appendResourceState(buf []byte, i int, rs *ResourceState) ([]byte, error) {
+	if len(rs.Tags) != len(rs.Counts) {
+		return nil, fmt.Errorf("engine: resource %d has %d tags for %d counts", i, len(rs.Tags), len(rs.Counts))
+	}
+	buf = codec.AppendUvarint(buf, uint64(rs.Posts))
+	buf = codec.AppendUvarint(buf, uint64(len(rs.Tags)))
+	d := codec.NewDelta(-1)
+	for k, t := range rs.Tags {
+		gap, ok := d.Gap(int64(t))
+		if !ok {
+			return nil, fmt.Errorf("engine: resource %d support not ascending", i)
+		}
+		buf = codec.AppendUvarint(buf, gap)
+		buf = codec.AppendUvarint(buf, uint64(rs.Counts[k]))
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(rs.Ring)))
+	for _, f := range rs.Ring {
+		buf = codec.AppendFloat64(buf, f)
+	}
+	buf = codec.AppendUvarint(buf, uint64(rs.Head))
+	buf = codec.AppendUvarint(buf, uint64(rs.Fill))
+	buf = codec.AppendFloat64(buf, rs.Sum)
+	return buf, nil
+}
+
+// readResourceState decodes one appendResourceState record at the
+// reader's position into rs.
+func readResourceState(r *codec.Reader, rs *ResourceState) {
+	rs.Posts = int(r.Uvarint("posts"))
+	nt := r.Length("support size", maxStateSlice)
+	if r.Err() != nil {
+		return
+	}
+	rs.Tags = make([]tags.Tag, nt)
+	rs.Counts = make([]int64, nt)
+	d := codec.NewDelta(-1)
+	for k := 0; k < nt && r.Err() == nil; k++ {
+		t := d.Absorb(r.Uvarint("tag delta"))
+		if t > int64(math.MaxInt32) {
+			r.Fail("tag id %d overflows", t)
+			return
+		}
+		rs.Tags[k] = tags.Tag(t)
+		rs.Counts[k] = int64(r.Uvarint("count"))
+	}
+	nr := r.Length("ring size", maxStateSlice)
+	if r.Err() != nil {
+		return
+	}
+	rs.Ring = make([]float64, nr)
+	for k := 0; k < nr && r.Err() == nil; k++ {
+		rs.Ring[k] = r.Float64("ring entry")
+	}
+	rs.Head = int(r.Uvarint("ring head"))
+	rs.Fill = int(r.Uvarint("ring fill"))
+	rs.Sum = r.Float64("ring sum")
+}
+
+// scanResourceState structurally walks one record without materializing
+// slices: entry (when non-nil) sees each (tag, count) support pair, the
+// ring is skipped, and the scalars a cold resource retains — the post
+// count and the MA window's running sum — are returned. It is the
+// allocation-free twin of readResourceState used by NewFromMapped.
+func scanResourceState(r *codec.Reader, entry func(t tags.Tag, n int64)) (posts int, sum float64) {
+	posts = int(r.Uvarint("posts"))
+	nt := r.Length("support size", maxStateSlice)
+	if r.Err() != nil {
+		return 0, 0
+	}
+	d := codec.NewDelta(-1)
+	for k := 0; k < nt && r.Err() == nil; k++ {
+		t := d.Absorb(r.Uvarint("tag delta"))
+		if t > int64(math.MaxInt32) {
+			r.Fail("tag id %d overflows", t)
+			return 0, 0
+		}
+		n := int64(r.Uvarint("count"))
+		if r.Err() == nil && entry != nil {
+			entry(tags.Tag(t), n)
+		}
+	}
+	nr := r.Length("ring size", maxStateSlice)
+	if r.Err() != nil {
+		return 0, 0
+	}
+	for k := 0; k < nr && r.Err() == nil; k++ {
+		r.Float64("ring entry")
+	}
+	r.Uvarint("ring head")
+	r.Uvarint("ring fill")
+	sum = r.Float64("ring sum")
+	return posts, sum
 }
 
 // MarshalBinary renders the state as a compact, versioned byte payload
 // (the snapshot body tagstore.WriteSnapshot frames and checksums).
 // Integers are varint-encoded; tag ids are delta-encoded within each
-// resource (ascending order); floats are raw IEEE-754 bits.
+// resource (ascending order); floats are raw IEEE-754 bits. All
+// primitives come from internal/codec — the same implementation the
+// tagstore record format uses.
 func (st *State) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, 0, 64+len(st.Resources)*64)
-	buf = binary.AppendUvarint(buf, stateVersion)
-	buf = binary.AppendUvarint(buf, uint64(st.Omega))
-	buf = binary.AppendUvarint(buf, uint64(st.Shards))
-	buf = binary.AppendVarint(buf, int64(st.UnderThreshold))
-	buf = binary.AppendUvarint(buf, uint64(st.TagUniverse))
-	buf = binary.AppendUvarint(buf, st.LastSeq)
-	buf = binary.AppendUvarint(buf, uint64(len(st.Resources)))
+	buf = codec.AppendUvarint(buf, stateVersion)
+	buf = codec.AppendUvarint(buf, uint64(st.Omega))
+	buf = codec.AppendUvarint(buf, uint64(st.Shards))
+	buf = codec.AppendVarint(buf, int64(st.UnderThreshold))
+	buf = codec.AppendUvarint(buf, uint64(st.TagUniverse))
+	buf = codec.AppendUvarint(buf, st.LastSeq)
+	buf = codec.AppendUvarint(buf, uint64(len(st.Resources)))
+	var err error
 	for i := range st.Resources {
-		rs := &st.Resources[i]
-		if len(rs.Tags) != len(rs.Counts) {
-			return nil, fmt.Errorf("engine: resource %d has %d tags for %d counts", i, len(rs.Tags), len(rs.Counts))
+		if buf, err = appendResourceState(buf, i, &st.Resources[i]); err != nil {
+			return nil, err
 		}
-		buf = binary.AppendUvarint(buf, uint64(rs.Posts))
-		buf = binary.AppendUvarint(buf, uint64(len(rs.Tags)))
-		prev := int64(-1)
-		for k, t := range rs.Tags {
-			if int64(t) <= prev {
-				return nil, fmt.Errorf("engine: resource %d support not ascending", i)
-			}
-			buf = binary.AppendUvarint(buf, uint64(int64(t)-prev))
-			buf = binary.AppendUvarint(buf, uint64(rs.Counts[k]))
-			prev = int64(t)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(rs.Ring)))
-		for _, f := range rs.Ring {
-			buf = appendFloat(buf, f)
-		}
-		buf = binary.AppendUvarint(buf, uint64(rs.Head))
-		buf = binary.AppendUvarint(buf, uint64(rs.Fill))
-		buf = appendFloat(buf, rs.Sum)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(st.Aggregates)))
+	buf = codec.AppendUvarint(buf, uint64(len(st.Aggregates)))
 	for _, agg := range st.Aggregates {
-		buf = appendFloat(buf, agg.QSum)
-		buf = appendFloat(buf, agg.QComp)
-		buf = binary.AppendUvarint(buf, uint64(agg.Spent))
-		buf = binary.AppendUvarint(buf, uint64(agg.Posts))
-		buf = binary.AppendUvarint(buf, uint64(agg.Wasted))
+		buf = codec.AppendFloat64(buf, agg.QSum)
+		buf = codec.AppendFloat64(buf, agg.QComp)
+		buf = codec.AppendUvarint(buf, uint64(agg.Spent))
+		buf = codec.AppendUvarint(buf, uint64(agg.Posts))
+		buf = codec.AppendUvarint(buf, uint64(agg.Wasted))
 	}
 	return buf, nil
-}
-
-// stateReader decodes the MarshalBinary layout with positioned errors.
-type stateReader struct {
-	buf []byte
-	off int
-	err error
-}
-
-func (d *stateReader) uvarint(what string) uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
-		d.err = fmt.Errorf("engine: state: bad %s at offset %d", what, d.off)
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *stateReader) varint(what string) int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.buf[d.off:])
-	if n <= 0 {
-		d.err = fmt.Errorf("engine: state: bad %s at offset %d", what, d.off)
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *stateReader) float(what string) float64 {
-	if d.err != nil {
-		return 0
-	}
-	if d.off+8 > len(d.buf) {
-		d.err = fmt.Errorf("engine: state: truncated %s at offset %d", what, d.off)
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
-	d.off += 8
-	return v
-}
-
-// maxStateSlice bounds decoded slice lengths against a corrupt varint
-// allocating unbounded memory.
-const maxStateSlice = 1 << 28
-
-func (d *stateReader) length(what string) int {
-	v := d.uvarint(what)
-	if d.err == nil && v > maxStateSlice {
-		d.err = fmt.Errorf("engine: state: implausible %s length %d", what, v)
-	}
-	return int(v)
 }
 
 // UnmarshalState decodes a MarshalBinary payload, rejecting unknown
 // versions and any structural damage.
 func UnmarshalState(payload []byte) (*State, error) {
-	d := &stateReader{buf: payload}
-	if v := d.uvarint("version"); d.err == nil && v != stateVersion {
+	d := codec.NewReader(payload, statePrefix)
+	if v := d.Uvarint("version"); d.Err() == nil && v != stateVersion {
 		return nil, fmt.Errorf("engine: state version %d not supported (want %d)", v, stateVersion)
 	}
 	st := &State{
-		Omega:          int(d.uvarint("omega")),
-		Shards:         int(d.uvarint("shards")),
-		UnderThreshold: int(d.varint("under threshold")),
-		TagUniverse:    int(d.uvarint("tag universe")),
-		LastSeq:        d.uvarint("last seq"),
+		Omega:          int(d.Uvarint("omega")),
+		Shards:         int(d.Uvarint("shards")),
+		UnderThreshold: int(d.Varint("under threshold")),
+		TagUniverse:    int(d.Uvarint("tag universe")),
+		LastSeq:        d.Uvarint("last seq"),
 	}
-	n := d.length("resource count")
-	if d.err != nil {
-		return nil, d.err
+	n := d.Length("resource count", maxStateSlice)
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
 	st.Resources = make([]ResourceState, n)
-	for i := 0; i < n && d.err == nil; i++ {
-		rs := &st.Resources[i]
-		rs.Posts = int(d.uvarint("posts"))
-		nt := d.length("support size")
-		if d.err != nil {
-			break
-		}
-		rs.Tags = make([]tags.Tag, nt)
-		rs.Counts = make([]int64, nt)
-		prev := int64(-1)
-		for k := 0; k < nt && d.err == nil; k++ {
-			prev += int64(d.uvarint("tag delta"))
-			if prev > int64(math.MaxInt32) {
-				d.err = fmt.Errorf("engine: state: tag id %d overflows", prev)
-				break
-			}
-			rs.Tags[k] = tags.Tag(prev)
-			rs.Counts[k] = int64(d.uvarint("count"))
-		}
-		nr := d.length("ring size")
-		if d.err != nil {
-			break
-		}
-		rs.Ring = make([]float64, nr)
-		for k := 0; k < nr && d.err == nil; k++ {
-			rs.Ring[k] = d.float("ring entry")
-		}
-		rs.Head = int(d.uvarint("ring head"))
-		rs.Fill = int(d.uvarint("ring fill"))
-		rs.Sum = d.float("ring sum")
+	for i := 0; i < n && d.Err() == nil; i++ {
+		readResourceState(d, &st.Resources[i])
 	}
-	na := d.length("aggregate count")
-	if d.err != nil {
-		return nil, d.err
+	na := d.Length("aggregate count", maxStateSlice)
+	if err := d.Err(); err != nil {
+		return nil, err
 	}
 	st.Aggregates = make([]ShardAggregate, na)
-	for s := 0; s < na && d.err == nil; s++ {
+	for s := 0; s < na && d.Err() == nil; s++ {
 		agg := &st.Aggregates[s]
-		agg.QSum = d.float("qsum")
-		agg.QComp = d.float("qcomp")
-		agg.Spent = int(d.uvarint("spent"))
-		agg.Posts = int(d.uvarint("posts"))
-		agg.Wasted = int(d.uvarint("wasted"))
+		agg.QSum = d.Float64("qsum")
+		agg.QComp = d.Float64("qcomp")
+		agg.Spent = int(d.Uvarint("spent"))
+		agg.Posts = int(d.Uvarint("posts"))
+		agg.Wasted = int(d.Uvarint("wasted"))
 	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if d.off != len(payload) {
-		return nil, fmt.Errorf("engine: state: %d trailing bytes", len(payload)-d.off)
-	}
-	return st, nil
+	return st, d.Finish()
 }

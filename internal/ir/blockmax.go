@@ -350,6 +350,10 @@ type queryScratch struct {
 	skips    []skipRange
 	suffix   []float64
 	heap     scoredHeap
+	// promote collects cold resources this query had to decode — the
+	// subject and pruning survivors with deferred mass — for
+	// rehydration once the read locks drop (see residency.go).
+	promote []int32
 }
 
 // getScratch checks a scratch out of the pool and opens a fresh visited
@@ -400,6 +404,7 @@ type pruneStats struct {
 // zero-similarity padding of TopK semantics (Search never pads).
 func (ix *OnlineIndex) runPruned(pq *prunedQuery, k int, sc *queryScratch, pad bool) []Scored {
 	sel := topKSelector{k: k, h: sc.heap[:0]}
+	sc.promote = sc.promote[:0]
 	var ps pruneStats
 	qnorm := pq.subjNorm
 	if pq.search {
@@ -675,7 +680,7 @@ func (ix *OnlineIndex) pruneShard(s int, pq *prunedQuery, qnorm float64, sel *to
 		}
 	}
 	shardWidth := len(ix.shards)
-	vecs := ix.shards[s].vecs
+	osh := ix.shards[s]
 	norms := ix.norm2
 	for _, id32 := range cands {
 		id := int(id32)
@@ -694,11 +699,19 @@ func (ix *OnlineIndex) pruneShard(s int, pq *prunedQuery, qnorm float64, sel *to
 		// step for rounding step.
 		dot := a
 		if len(deferred) > 0 {
-			o := vecs[id/shardWidth]
-			for j := range deferred {
-				if c := o.Get(deferred[j].t); c != 0 {
-					dot += deferred[j].weight * float64(c)
+			// A cold survivor reads its deferred mass off the frozen
+			// blob and is marked for promotion: it survived pruning, so
+			// it is exactly the kind of resource worth keeping hot.
+			l := id / shardWidth
+			if o := osh.vecs[l]; o != nil {
+				for j := range deferred {
+					if c := o.Get(deferred[j].t); c != 0 {
+						dot += deferred[j].weight * float64(c)
+					}
 				}
+			} else {
+				dot += frozenDeferredDot(osh.frozen[l], id, deferred)
+				sc.promote = append(sc.promote, id32)
 			}
 		}
 		var sv float64

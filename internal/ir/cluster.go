@@ -32,7 +32,6 @@ package ir
 import (
 	"math"
 
-	"incentivetag/internal/sparse"
 	"incentivetag/internal/tags"
 )
 
@@ -56,12 +55,25 @@ func (ix *OnlineIndex) RFDEntries(id int) (entries []WeightedTag, norm2 float64,
 	ix.rlockAll()
 	defer ix.runlockAll()
 	epoch = ix.epoch.Load()
-	c := ix.rfdLocked(int32(id))
-	entries = make([]WeightedTag, 0, c.Len())
-	for _, t := range c.Support() {
-		entries = append(entries, WeightedTag{Tag: t, Count: c.Get(t)})
+	sh, l := ix.locate(id)
+	if c := sh.vecs[l]; c != nil {
+		entries = make([]WeightedTag, 0, c.Len())
+		for _, t := range c.Support() {
+			entries = append(entries, WeightedTag{Tag: t, Count: c.Get(t)})
+		}
+		return entries, c.Norm2(), c.Posts(), epoch
 	}
-	return entries, c.Norm2(), c.Posts(), epoch
+	// Cold resource: stream the frozen blob transiently — a gateway
+	// fetching a remote subject's rfd does not make it locally hot. The
+	// squared norm is re-summed from the same exact integers Norm2
+	// accumulated, so the wire values are bit-identical either way.
+	entries = []WeightedTag{}
+	norm2 = 0
+	posts = scanFrozenVec(sh.frozen[l], id, func(t tags.Tag, c int64) {
+		entries = append(entries, WeightedTag{Tag: t, Count: c})
+		norm2 += float64(c) * float64(c)
+	})
+	return entries, norm2, posts, epoch
 }
 
 // TopKWeighted runs a top-k similarity query against an explicit
@@ -89,7 +101,7 @@ func (ix *OnlineIndex) TopKWeighted(query []WeightedTag, qNorm2 float64, exclude
 	if subjNorm == 0 || len(query) == 0 {
 		// Zero-norm subject: straight to zero-similarity padding over the
 		// owned universe, exactly like the single-node zero-norm path.
-		return rankTopKOwned(ix.n, exclude, k, 0, nil, ix.rfdLocked, owned), epoch
+		return rankTopKOwned(ix.n, exclude, k, 0, nil, ix.norm2At, owned), epoch
 	}
 	dots := make(map[int32]float64)
 	for _, wt := range query {
@@ -107,22 +119,22 @@ func (ix *OnlineIndex) TopKWeighted(query []WeightedTag, qNorm2 float64, exclude
 			}
 		}
 	}
-	return rankTopKOwned(ix.n, exclude, k, subjNorm, dots, ix.rfdLocked, owned), epoch
+	return rankTopKOwned(ix.n, exclude, k, subjNorm, dots, ix.norm2At, owned), epoch
 }
 
 // rankTopKOwned is rankTopK with an ownership filter on the padding
 // universe (the candidate dots are already owner-filtered by the
 // caller). The scoring and padding logic are copied from rankTopK so the
 // two can never diverge in float behaviour; keep them in lockstep.
-func rankTopKOwned(n, subject, k int, subjNorm float64, dots map[int32]float64, rfd func(int32) *sparse.Counts, owned func(int) bool) []Scored {
+func rankTopKOwned(n, subject, k int, subjNorm float64, dots map[int32]float64, norm2 func(int32) float64, owned func(int) bool) []Scored {
 	sel := newTopKSelector(k)
 	if subjNorm > 0 {
 		for id, dot := range dots {
-			o := rfd(id)
-			if o.Posts() == 0 || o.Norm2() == 0 {
+			n2 := norm2(id)
+			if n2 == 0 {
 				continue
 			}
-			s := dot / (subjNorm * math.Sqrt(o.Norm2()))
+			s := dot / (subjNorm * math.Sqrt(n2))
 			if s > 1 {
 				s = 1
 			}
@@ -182,11 +194,11 @@ func (ix *OnlineIndex) SearchOwned(query tags.Post, k int, owned func(int) bool)
 		if dot == 0 {
 			continue
 		}
-		o := ix.rfdLocked(id)
-		if o.Posts() == 0 || o.Norm2() == 0 {
+		n2 := ix.norm2[id]
+		if n2 == 0 {
 			continue
 		}
-		s := dot / math.Sqrt(qNorm2*o.Norm2())
+		s := dot / math.Sqrt(qNorm2*n2)
 		if s > 1 {
 			s = 1
 		}

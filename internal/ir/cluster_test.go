@@ -93,7 +93,7 @@ func TestClusterPartitionMergesBitIdentical(t *testing.T) {
 	for _, seed := range []int64{41, 42, 43} {
 		rng := rand.New(rand.NewSource(seed))
 		const n, dim, nodes = 45, 22, 3
-		owner := func(id int) int { return (id*2654435761 + 17) % nodes } // arbitrary deterministic spread
+		owner := func(id int) int { return int((int64(id)*2654435761 + 17) % nodes) } // arbitrary deterministic spread
 		ownedBy := func(node int) func(int) bool {
 			return func(id int) bool { return owner(id) == node }
 		}

@@ -65,7 +65,7 @@ func (ix *InvertedIndex) TopK(subject, k int) []Scored {
 		// candidate enumeration entirely and go straight to the
 		// zero-similarity padding (smallest ids first, exactly what the
 		// exhaustive index returns).
-		return rankTopK(len(ix.rfds), subject, k, 0, nil, func(id int32) *sparse.Counts { return ix.rfds[id] })
+		return rankTopK(len(ix.rfds), subject, k, 0, nil, ix.norm2At)
 	}
 	// Accumulate dot products over the subject's postings.
 	dots := make(map[int32]float64)
@@ -78,7 +78,17 @@ func (ix *InvertedIndex) TopK(subject, k int) []Scored {
 			dots[p.id] += sc * float64(p.count)
 		}
 	}
-	return rankTopK(len(ix.rfds), subject, k, subjNorm, dots, func(id int32) *sparse.Counts { return ix.rfds[id] })
+	return rankTopK(len(ix.rfds), subject, k, subjNorm, dots, ix.norm2At)
+}
+
+// norm2At resolves a resource's scoring norm for rankTopK: 0 when it
+// cannot score (the Posts/Norm2 guard folded into one value).
+func (ix *InvertedIndex) norm2At(id int32) float64 {
+	c := ix.rfds[id]
+	if c.Posts() == 0 {
+		return 0
+	}
+	return c.Norm2()
 }
 
 // topKSelector keeps the best k answers incrementally: a bounded
@@ -172,16 +182,19 @@ func (s *topKSelector) results() []Scored {
 // candidate set runs short of k (smallest id first), and returns the
 // selector's ranking. The subject's norm is hoisted here once — a
 // zero-norm subject (nil or empty dots) skips scoring entirely and
-// pads directly. rfd resolves a candidate id to its count vector.
-func rankTopK(n, subject, k int, subjNorm float64, dots map[int32]float64, rfd func(int32) *sparse.Counts) []Scored {
+// pads directly. norm2 resolves a candidate id to its scoring norm,
+// returning 0 for candidates that cannot score (no posts or zero norm)
+// — which lets the online index serve cold resources from its dense
+// norm cache without touching their frozen vectors.
+func rankTopK(n, subject, k int, subjNorm float64, dots map[int32]float64, norm2 func(int32) float64) []Scored {
 	sel := newTopKSelector(k)
 	if subjNorm > 0 {
 		for id, dot := range dots {
-			o := rfd(id)
-			if o.Posts() == 0 || o.Norm2() == 0 {
+			n2 := norm2(id)
+			if n2 == 0 {
 				continue
 			}
-			s := dot / (subjNorm * math.Sqrt(o.Norm2()))
+			s := dot / (subjNorm * math.Sqrt(n2))
 			if s > 1 {
 				s = 1
 			}

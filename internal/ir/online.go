@@ -80,8 +80,14 @@ type OnlineIndex struct {
 	// candidates) — one dense read on the selection hot path instead of
 	// two pointer chases into the count vector. Each element is written
 	// only by its owning shard's writer under that shard's lock and read
-	// under the all-shards query view.
+	// under the all-shards query view. Cold resources keep their entry:
+	// the cache is how queries score candidates whose forward vector is
+	// frozen (see residency.go).
 	norm2 []float64
+
+	// universe is the tag-universe hint thawed vectors are rebuilt with
+	// (see sparse.FromEntries); set by NewOnlineIndexFrozen, 0 otherwise.
+	universe int
 
 	// scratchPool recycles per-query state (visited set, tag plan, heap
 	// backing) so the serving read path allocates nothing but its result.
@@ -100,6 +106,13 @@ type OnlineIndex struct {
 	blocksSkipped    atomic.Uint64
 	tagsDeferred     atomic.Uint64
 	candidatesScored atomic.Uint64
+
+	// Residency meters (see residency.go): cold forward vectors, their
+	// packed footprint, and the transition counters.
+	coldVecs        atomic.Int64
+	frozenBytes     atomic.Int64
+	vecEvictions    atomic.Uint64
+	vecRehydrations atomic.Uint64
 }
 
 // onlineShard owns the resources with id ≡ shardID (mod S): their count
@@ -109,8 +122,12 @@ type onlineShard struct {
 	// postings maps tag → the shard-local block-max posting list.
 	postings map[tags.Tag]*bmList
 	// vecs[l] is the count vector of global resource l*S + shardID; the
-	// index owns these (they are mutated by Apply).
+	// index owns these (they are mutated by Apply). A nil slot means the
+	// resource is cold: its vector lives packed in frozen[l].
 	vecs []*sparse.Counts
+	// frozen[l] is resource l*S + shardID's frozen blob when its forward
+	// vector is evicted, nil while it is live (see residency.go).
+	frozen [][]byte
 }
 
 // NewOnlineIndex seeds an online index from the given rfd snapshots,
@@ -135,6 +152,7 @@ func NewOnlineIndex(rfds []*sparse.Counts, shards int) *OnlineIndex {
 	for i, c := range rfds {
 		sh := ix.shards[i%shards]
 		sh.vecs = append(sh.vecs, c)
+		sh.frozen = append(sh.frozen, nil)
 		if c.Posts() > 0 {
 			ix.norm2[i] = c.Norm2()
 		}
@@ -211,6 +229,11 @@ func (ix *OnlineIndex) Apply(resource int, p tags.Post) {
 	s := resource % len(ix.shards)
 	sh, l := ix.shards[s], resource/len(ix.shards)
 	sh.mu.Lock()
+	if sh.frozen[l] != nil {
+		// A post makes the resource hot: thaw before the bump so the
+		// live vector and the posting lists never fork.
+		ix.thawLocked(sh, l, resource)
+	}
 	sh.vecs[l].Add(p)
 	norm2 := sh.vecs[l].Norm2()
 	ix.norm2[resource] = norm2 // a post landed, so the resource scores
@@ -262,28 +285,58 @@ func (ix *OnlineIndex) TopK(subject, k int) ([]Scored, uint64) {
 		return nil, ix.epoch.Load()
 	}
 	ix.rlockAll()
-	defer ix.runlockAll()
 	epoch := ix.epoch.Load()
 	sh, l := ix.locate(subject)
-	subj := sh.vecs[l]
-	subjNorm := math.Sqrt(subj.Norm2())
-	if subjNorm == 0 || subj.Posts() == 0 {
-		return rankTopK(ix.n, subject, k, 0, nil, ix.rfdLocked), epoch
+	// The dense norm entry is 0 exactly when the old guard
+	// (zero norm or zero posts) fired — hot or cold alike.
+	n2 := ix.norm2[subject]
+	if n2 == 0 {
+		res := rankTopK(ix.n, subject, k, 0, nil, ix.norm2At)
+		ix.runlockAll()
+		return res, epoch
 	}
+	subjNorm := math.Sqrt(n2)
 	sc := ix.getScratch()
-	defer ix.putScratch(sc)
 	// One pass lifts the subject's support and weights together; the
 	// executor orders tags by bound itself, and the exact-integer dots
 	// make every downstream sum order-independent, so the ascending
-	// order Support would give buys nothing here.
+	// order Support would give buys nothing here. A cold subject's
+	// support streams off its blob instead (and marks it for promotion
+	// — a queried subject is hot by definition).
 	sc.support, sc.weights = sc.support[:0], sc.weights[:0]
-	subj.ForEach(func(t tags.Tag, c int64) {
+	lift := func(t tags.Tag, c int64) {
 		sc.support = append(sc.support, t)
 		sc.weights = append(sc.weights, float64(c))
-	})
+	}
+	if subj := sh.vecs[l]; subj != nil {
+		subj.ForEach(lift)
+	} else {
+		scanFrozenVec(sh.frozen[l], subject, lift)
+	}
 	pq := prunedQuery{subject: subject, tags: sc.support, weights: sc.weights, subjNorm: subjNorm}
-	return ix.runPruned(&pq, k, sc, true), epoch
+	res := ix.runPruned(&pq, k, sc, true)
+	if sh.vecs[l] == nil {
+		sc.promote = append(sc.promote, int32(subject))
+	}
+	promote := promoteList(sc)
+	ix.putScratch(sc)
+	ix.runlockAll()
+	ix.promote(promote)
+	return res, epoch
 }
+
+// promoteList copies the scratch's promotion ids out before the scratch
+// returns to the pool (promotion runs after the read locks drop).
+func promoteList(sc *queryScratch) []int32 {
+	if len(sc.promote) == 0 {
+		return nil
+	}
+	return append([]int32(nil), sc.promote...)
+}
+
+// norm2At adapts the dense norm cache to the rank finalizers' resolver
+// shape: 0 means "cannot score" for hot and cold resources alike.
+func (ix *OnlineIndex) norm2At(id int32) float64 { return ix.norm2[id] }
 
 // TopKExhaustive is the pre-pruning serving path, preserved verbatim as
 // the pruning oracle and benchmark baseline: it touches every posting
@@ -298,14 +351,28 @@ func (ix *OnlineIndex) TopKExhaustive(subject, k int) ([]Scored, uint64) {
 	defer ix.runlockAll()
 	epoch := ix.epoch.Load()
 	sh, l := ix.locate(subject)
-	subj := sh.vecs[l]
-	subjNorm := math.Sqrt(subj.Norm2())
-	if subjNorm == 0 || subj.Posts() == 0 {
-		return rankTopK(ix.n, subject, k, 0, nil, ix.rfdLocked), epoch
+	n2 := ix.norm2[subject]
+	if n2 == 0 {
+		return rankTopK(ix.n, subject, k, 0, nil, ix.norm2At), epoch
+	}
+	subjNorm := math.Sqrt(n2)
+	var support []tags.Tag
+	var weights []float64
+	lift := func(t tags.Tag, c int64) {
+		support = append(support, t)
+		weights = append(weights, float64(c))
+	}
+	if subj := sh.vecs[l]; subj != nil {
+		subj.ForEach(lift)
+	} else {
+		// The oracle path reads a cold subject transiently — it never
+		// promotes, so pruned-vs-exhaustive comparisons leave residency
+		// exactly as they found it.
+		scanFrozenVec(sh.frozen[l], subject, lift)
 	}
 	dots := make(map[int32]float64)
-	for _, t := range subj.Support() {
-		sc := float64(subj.Get(t))
+	for i, t := range support {
+		sc := weights[i]
 		for _, osh := range ix.shards {
 			pl := osh.postings[t]
 			if pl == nil {
@@ -319,11 +386,13 @@ func (ix *OnlineIndex) TopKExhaustive(subject, k int) ([]Scored, uint64) {
 			}
 		}
 	}
-	return rankTopK(ix.n, subject, k, subjNorm, dots, ix.rfdLocked), epoch
+	return rankTopK(ix.n, subject, k, subjNorm, dots, ix.norm2At), epoch
 }
 
-// rfdLocked resolves a resource id to its count vector; caller holds
-// the read locks.
+// rfdLocked resolves a resource id to its LIVE count vector (nil when
+// the resource is cold); caller holds the read locks. Scoring paths do
+// not use this — they read the dense norm cache and, for cold deferred
+// rescues, the frozen blob.
 func (ix *OnlineIndex) rfdLocked(id int32) *sparse.Counts {
 	sh, l := ix.locate(int(id))
 	return sh.vecs[l]
@@ -370,17 +439,20 @@ func (ix *OnlineIndex) Search(query tags.Post, k int) ([]Scored, uint64) {
 		return nil, ix.epoch.Load()
 	}
 	ix.rlockAll()
-	defer ix.runlockAll()
 	epoch := ix.epoch.Load()
 	sc := ix.getScratch()
-	defer ix.putScratch(sc)
 	// The query vector's squared norm is |query| exactly (unit counts
 	// over distinct tags). The score expression mirrors
 	// sparse.Counts.Cosine term for term (single sqrt of the norm
 	// product, same clamping), so a Search score is bit-identical to
 	// Cosine against a count vector holding the query.
 	pq := prunedQuery{subject: -1, tags: query, qNorm2: float64(len(query)), search: true}
-	return ix.runPruned(&pq, k, sc, false), epoch
+	res := ix.runPruned(&pq, k, sc, false)
+	promote := promoteList(sc)
+	ix.putScratch(sc)
+	ix.runlockAll()
+	ix.promote(promote)
+	return res, epoch
 }
 
 // SearchExhaustive is the pre-pruning Search, preserved as the pruning
@@ -413,11 +485,11 @@ func (ix *OnlineIndex) SearchExhaustive(query tags.Post, k int) ([]Scored, uint6
 		if dot == 0 {
 			continue // a fully-removed posting; cannot score
 		}
-		o := ix.rfdLocked(id)
-		if o.Posts() == 0 || o.Norm2() == 0 {
+		n2 := ix.norm2[id]
+		if n2 == 0 {
 			continue
 		}
-		s := dot / math.Sqrt(qNorm2*o.Norm2())
+		s := dot / math.Sqrt(qNorm2*n2)
 		if s > 1 {
 			s = 1
 		}
@@ -509,6 +581,14 @@ type OnlineStats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+	// ColdVecs counts resources whose forward vector is currently
+	// frozen (their postings stay live); FrozenBytes is the packed
+	// footprint of those blobs. VecEvictions / VecRehydrations count
+	// freeze and thaw transitions since boot (see residency.go).
+	ColdVecs        int64  `json:"cold_vecs"`
+	FrozenBytes     int64  `json:"frozen_bytes"`
+	VecEvictions    uint64 `json:"vec_evictions"`
+	VecRehydrations uint64 `json:"vec_rehydrations"`
 }
 
 // Stats reads the index census in O(1): every field is an atomic or an
@@ -525,6 +605,10 @@ func (ix *OnlineIndex) Stats() OnlineStats {
 		BlocksSkipped:    ix.blocksSkipped.Load(),
 		TagsDeferred:     ix.tagsDeferred.Load(),
 		CandidatesScored: ix.candidatesScored.Load(),
+		ColdVecs:         ix.coldVecs.Load(),
+		FrozenBytes:      ix.frozenBytes.Load(),
+		VecEvictions:     ix.vecEvictions.Load(),
+		VecRehydrations:  ix.vecRehydrations.Load(),
 	}
 	ix.censusMu.Lock()
 	st.Tags = len(ix.tagPostings)

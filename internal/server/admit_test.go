@@ -184,7 +184,7 @@ func TestHealthzReportsOverload(t *testing.T) {
 }
 
 // promLine matches one sample line of the text exposition format.
-var promLine = regexp.MustCompile(`^tagserved_[a-z_]+(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? ((\+Inf)|([0-9eE.+-]+))$`)
+var promLine = regexp.MustCompile(`^tagserved_[a-z0-9_]+(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? ((\+Inf)|([0-9eE.+-]+))$`)
 
 func TestPromMetricsExposition(t *testing.T) {
 	srv, ts, ds := newAdmitServer(t, Config{MaxBodyBytes: 512})

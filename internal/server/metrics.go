@@ -101,6 +101,32 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# TYPE tagserved_inflight_limit gauge\n")
 	fmt.Fprintf(&b, "tagserved_inflight_limit %d\n", st.MaxInFlight)
 
+	// Memory-tiering residency. Counters are partition-clean (cluster
+	// scrapes sum them across nodes); the rehydrate p99 is per node.
+	// Emitted only once the service is installed: scraping a recovering
+	// node must not report a phantom all-cold corpus.
+	if svc := s.svc.Load(); svc != nil {
+		tier := svc.Residency()
+		b.WriteString("# HELP tagserved_resident_resources Resources currently hot (tracker and vector on the heap).\n")
+		b.WriteString("# TYPE tagserved_resident_resources gauge\n")
+		fmt.Fprintf(&b, "tagserved_resident_resources %d\n", tier.Resident)
+		b.WriteString("# HELP tagserved_cold_resources Resources currently frozen to compact records.\n")
+		b.WriteString("# TYPE tagserved_cold_resources gauge\n")
+		fmt.Fprintf(&b, "tagserved_cold_resources %d\n", tier.Cold)
+		b.WriteString("# HELP tagserved_evictions_total Hot-to-cold transitions since boot.\n")
+		b.WriteString("# TYPE tagserved_evictions_total counter\n")
+		fmt.Fprintf(&b, "tagserved_evictions_total %d\n", tier.Evictions)
+		b.WriteString("# HELP tagserved_rehydrations_total Cold-to-hot transitions since boot.\n")
+		b.WriteString("# TYPE tagserved_rehydrations_total counter\n")
+		fmt.Fprintf(&b, "tagserved_rehydrations_total %d\n", tier.Rehydrations)
+		b.WriteString("# HELP tagserved_resident_bytes Estimated heap held by hot resources.\n")
+		b.WriteString("# TYPE tagserved_resident_bytes gauge\n")
+		fmt.Fprintf(&b, "tagserved_resident_bytes %d\n", tier.ResidentBytes)
+		b.WriteString("# HELP tagserved_rehydrate_p99_seconds Upper-bound p99 of cold-to-hot rehydration latency.\n")
+		b.WriteString("# TYPE tagserved_rehydrate_p99_seconds gauge\n")
+		fmt.Fprintf(&b, "tagserved_rehydrate_p99_seconds %s\n", promFloat(tier.RehydrateP99))
+	}
+
 	// Operational state.
 	b.WriteString("# HELP tagserved_draining 1 while the server refuses new work during shutdown.\n")
 	b.WriteString("# TYPE tagserved_draining gauge\n")

@@ -441,6 +441,17 @@ type MetricsResponse struct {
 
 	AllocatedSpent  int `json:"allocated_spent"`
 	RemainingBudget int `json:"remaining_budget"` // -1 = unlimited
+
+	// Memory-tiering census: hot/cold resource counts and transition
+	// counters (monotone, partition-clean — a cluster gateway sums them),
+	// the estimated hot heap, and the engine's rehydrate p99 in seconds
+	// (gateways take the max). All zero-cold on an untiered node.
+	ResidentResources int     `json:"resident_resources"`
+	ColdResources     int     `json:"cold_resources"`
+	Evictions         uint64  `json:"evictions"`
+	Rehydrations      uint64  `json:"rehydrations"`
+	ResidentBytes     int64   `json:"resident_bytes"`
+	RehydrateP99      float64 `json:"rehydrate_p99_seconds"`
 }
 
 // TopKEntry is one similar resource.
@@ -482,6 +493,10 @@ type InfoResponse struct {
 	// Queries is the live query index census: epoch, posting-list shape,
 	// and queries served since boot.
 	Queries incentivetag.QueryStats `json:"queries"`
+	// Residency is the memory-tiering census: configured budgets,
+	// hot/cold partition across the engine and query-index tiers, and
+	// the rehydrate latency profile.
+	Residency incentivetag.TierStats `json:"residency"`
 }
 
 // HealthResponse answers GET /healthz. Ready distinguishes "recovery
@@ -743,6 +758,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m := svc.Snapshot()
 	st := svc.AllocStats()
+	tier := svc.Residency()
 	s.budgetMu.Lock()
 	spent := s.spent
 	rem := -1
@@ -766,6 +782,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		LeasesExpired:     st.Expired,
 		AllocatedSpent:    spent,
 		RemainingBudget:   rem,
+		ResidentResources: tier.Resident,
+		ColdResources:     tier.Cold,
+		Evictions:         tier.Evictions,
+		Rehydrations:      tier.Rehydrations,
+		ResidentBytes:     tier.ResidentBytes,
+		RehydrateP99:      tier.RehydrateP99,
 	})
 }
 
@@ -883,6 +905,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Ready:       true,
 		Recovery:    svc.RecoveryStats(),
 		Queries:     svc.QueryStats(),
+		Residency:   svc.Residency(),
 	})
 }
 

@@ -1,0 +1,108 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	incentivetag "incentivetag"
+	"incentivetag/internal/server"
+)
+
+// Residency must be visible on every ops surface of a tiered node:
+// /info carries the full census, /metrics the partition-clean counters
+// a gateway sums, and /metrics/prom the tagserved_* gauge series.
+func TestResidencyWireSurface(t *testing.T) {
+	ds, err := incentivetag.Generate(incentivetag.DefaultConfig(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := incentivetag.NewService(ds, incentivetag.ServiceOptions{
+		Strategy:             "FP-MU",
+		MaxResidentResources: 5,
+		TierInterval:         -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Service: svc, Strategy: "FP-MU", TagUniverse: ds.Vocab.Size()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	h := &harness{ds: ds, svc: svc, ts: ts}
+
+	// Traffic plus one policy pass: evictions and rehydrations both land.
+	for i := 0; i < 30; i++ {
+		r := &ds.Resources[i%ds.N()]
+		h.call(t, "POST", "/ingest", server.IngestRequest{
+			Resource: i % ds.N(), Tags: wireTags(r.Seq[0]),
+		}, nil, http.StatusOK)
+	}
+	if _, err := svc.TierNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r := &ds.Resources[i]
+		h.call(t, "POST", "/ingest", server.IngestRequest{
+			Resource: i, Tags: wireTags(r.Seq[0]),
+		}, nil, http.StatusOK)
+	}
+
+	var info server.InfoResponse
+	h.call(t, "GET", "/info", nil, &info, http.StatusOK)
+	res := info.Residency
+	if !res.Enabled || res.MaxResident != 5 {
+		t.Fatalf("/info residency config: %+v", res)
+	}
+	if res.Cold == 0 || res.Evictions == 0 || res.Rehydrations == 0 {
+		t.Fatalf("/info residency shows no tier activity: %+v", res)
+	}
+	if res.Resident+res.Cold != ds.N() {
+		t.Fatalf("/info residency does not partition the corpus: %+v", res)
+	}
+	if res.RehydrateP99 <= 0 || res.RehydrateCount != res.Rehydrations {
+		t.Fatalf("/info rehydrate profile: %+v", res)
+	}
+
+	var m server.MetricsResponse
+	h.call(t, "GET", "/metrics", nil, &m, http.StatusOK)
+	if m.ResidentResources != res.Resident && m.ColdResources == 0 {
+		t.Fatalf("/metrics residency: %+v", m)
+	}
+	if m.Evictions == 0 || m.Rehydrations == 0 || m.ResidentBytes == 0 || m.RehydrateP99 <= 0 {
+		t.Fatalf("/metrics residency counters: %+v", m)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, gauge := range []string{
+		"tagserved_resident_resources ",
+		"tagserved_cold_resources ",
+		"tagserved_evictions_total ",
+		"tagserved_rehydrations_total ",
+		"tagserved_resident_bytes ",
+		"tagserved_rehydrate_p99_seconds ",
+	} {
+		if !strings.Contains(text, gauge) {
+			t.Fatalf("prom exposition missing %q:\n%s", gauge, text)
+		}
+	}
+	if strings.Contains(text, "tagserved_evictions_total 0\n") {
+		t.Fatalf("prom evictions counter stuck at zero:\n%s", text)
+	}
+}

@@ -119,6 +119,19 @@ func (c *Counts) Norm2() float64 { return c.norm2 }
 // Len returns the number of distinct tags with non-zero count.
 func (c *Counts) Len() int { return c.dn + len(c.m) }
 
+// MemBytes estimates the retained heap of the vector: the dense base
+// (4 bytes per slot, allocated whether or not occupied — the
+// space-for-time trade of the hybrid form), the spill map at a measured
+// ~48 bytes per entry, and the struct plus headers. It is the sizing
+// input of the residency tier's resident-bytes budget — an estimate for
+// relative pressure, not an accounting.
+func (c *Counts) MemBytes() int {
+	b := 96 // struct, slice header, map header
+	b += 4 * cap(c.d)
+	b += 48 * len(c.m)
+	return b
+}
+
 // Get returns h(t, k): the number of accumulated posts containing t
 // (Definition 3; each post contains a tag at most once).
 func (c *Counts) Get(t tags.Tag) int64 {

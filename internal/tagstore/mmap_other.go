@@ -1,0 +1,20 @@
+//go:build !unix
+
+package tagstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile falls back to a heap read on platforms without mmap: callers
+// get the same []byte contract (stable until the closer runs), just
+// without the page-cache sharing. The closer is a no-op.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, fmt.Errorf("tagstore: read %s: %w", f.Name(), err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package tagstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and returns the mapping plus
+// its unmap closer. The mapping survives the file being unlinked (the
+// pages stay until munmap), so snapshot pruning can never invalidate an
+// open mapping.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tagstore: mmap %s: %w", f.Name(), err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -54,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 
+	"incentivetag/internal/codec"
 	"incentivetag/internal/tags"
 )
 
@@ -321,17 +322,22 @@ func (s *Store) writable() error {
 	return nil
 }
 
-// encodePost renders the payload for (rid, p) into buf.
+// encodePost renders the payload for (rid, p) into buf: uvarint rid,
+// uvarint tag count, then the tag ids delta-encoded from a base of 0
+// (codec.Delta's store convention — the first tag lands raw, later tags
+// as gaps; posts are sorted ascending). Primitives come from
+// internal/codec, the implementation shared with the engine's state
+// format.
 func encodePost(buf []byte, rid uint32, p tags.Post) []byte {
-	buf = binary.AppendUvarint(buf, uint64(rid))
-	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	buf = codec.AppendUvarint(buf, uint64(rid))
+	buf = codec.AppendUvarint(buf, uint64(len(p)))
 	prev := uint64(0)
 	for i, t := range p {
 		v := uint64(t)
 		if i == 0 {
-			buf = binary.AppendUvarint(buf, v)
+			buf = codec.AppendUvarint(buf, v)
 		} else {
-			buf = binary.AppendUvarint(buf, v-prev) // posts are sorted ascending
+			buf = codec.AppendUvarint(buf, v-prev)
 		}
 		prev = v
 	}
@@ -340,35 +346,26 @@ func encodePost(buf []byte, rid uint32, p tags.Post) []byte {
 
 // decodePost parses a payload.
 func decodePost(payload []byte) (uint32, tags.Post, error) {
-	rid, k := binary.Uvarint(payload)
-	if k <= 0 {
-		return 0, nil, fmt.Errorf("tagstore: bad resource id varint")
-	}
-	rest := payload[k:]
-	n, k2 := binary.Uvarint(rest)
-	if k2 <= 0 || n == 0 || n > 1<<16 {
+	r := codec.NewReader(payload, "tagstore")
+	rid := r.Uvarint("resource id")
+	n := r.Uvarint("tag count")
+	if r.Err() == nil && (n == 0 || n > 1<<16) {
 		return 0, nil, fmt.Errorf("tagstore: bad tag count")
 	}
-	rest = rest[k2:]
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
 	post := make(tags.Post, 0, n)
-	prev := uint64(0)
+	d := codec.NewDelta(0)
 	for i := uint64(0); i < n; i++ {
-		d, kk := binary.Uvarint(rest)
-		if kk <= 0 {
-			return 0, nil, fmt.Errorf("tagstore: bad tag delta")
+		v := d.Absorb(r.Uvarint("tag delta"))
+		if r.Err() != nil {
+			return 0, nil, r.Err()
 		}
-		rest = rest[kk:]
-		var v uint64
-		if i == 0 {
-			v = d
-		} else {
-			v = prev + d
-		}
-		prev = v
 		post = append(post, tags.Tag(v))
 	}
-	if len(rest) != 0 {
-		return 0, nil, fmt.Errorf("tagstore: %d trailing payload bytes", len(rest))
+	if err := r.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("tagstore: %d trailing payload bytes", r.Remaining())
 	}
 	return uint32(rid), post, nil
 }
